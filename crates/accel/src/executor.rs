@@ -1,0 +1,425 @@
+//! Fault-aware integer inference.
+//!
+//! This executor replays the exact MAC-level arithmetic of
+//! [`dnn::quant::QuantizedNetwork`] (the two agree bit-for-bit when no
+//! faults fire — see the integration tests) while consulting a [`MacHook`]
+//! on every multiply. The hook decides, per op, whether the DSP captured
+//! the correct product, a stale one (duplication fault) or garbage (random
+//! fault); the attack crate supplies hooks driven by its strike schedule,
+//! and tests use [`FixedRateHook`].
+//!
+//! Fault semantics follow §IV-A of the paper:
+//!
+//! * **Duplication** — the accumulator receives the *previous* product the
+//!   PE computed; the correct product lands next cycle and is "absorbed by
+//!   more serial summations" (so long dense accumulations shrug it off,
+//!   which is why FC1 suffers much less than CONV2).
+//! * **Random** — the product is XOR-corrupted in its low bits, which after
+//!   `tanh` saturation ruins that output element.
+//!
+//! Pooling runs in fabric LUTs with large timing slack; it only faults at
+//! droops far deeper than the striker produces (see
+//! [`pool_fault_model`]), so strikes timed into `pool1` mostly waste
+//! themselves — visible in the reproduced Fig. 5b.
+
+use dnn::quant::{Activation, CodeMap, QConv, QDense, QLayer, QuantizedNetwork};
+use dnn::tensor::Tensor;
+use rand::Rng;
+
+use crate::fault::{DspTiming, FaultModel, MacFault};
+
+/// Per-MAC fault decision callback.
+pub trait MacHook {
+    /// Decides the fate of op `op_index` (0-based within the stage) of
+    /// stage `stage_index` (0-based within the network), given the weight
+    /// and activation codes it multiplies — small products exercise less
+    /// of the DSP's critical path (see
+    /// [`FaultModel::path_scale`](crate::fault::FaultModel::path_scale)).
+    fn fault(&mut self, stage_index: usize, op_index: u64, weight: i8, activation: i8)
+        -> MacFault;
+}
+
+/// A hook that never faults (reference behaviour).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl MacHook for NoFaults {
+    fn fault(&mut self, _stage: usize, _op: u64, _w: i8, _x: i8) -> MacFault {
+        MacFault::None
+    }
+}
+
+/// A hook applying fixed per-op fault probabilities to every stage —
+/// useful for tests and for the paper's "blind attack" baseline arithmetic.
+#[derive(Debug, Clone)]
+pub struct FixedRateHook<R: Rng> {
+    /// Probability of a duplication fault per op.
+    pub duplicate: f64,
+    /// Probability of a random fault per op.
+    pub random: f64,
+    /// RNG for sampling.
+    pub rng: R,
+}
+
+impl<R: Rng> MacHook for FixedRateHook<R> {
+    fn fault(&mut self, _stage: usize, _op: u64, _w: i8, _x: i8) -> MacFault {
+        let x: f64 = self.rng.gen();
+        if x < self.random {
+            MacFault::Random
+        } else if x < self.random + self.duplicate {
+            MacFault::Duplicate
+        } else {
+            MacFault::None
+        }
+    }
+}
+
+/// The timing of the fabric pooling comparators: single data rate with a
+/// short LUT path, so slack is huge and the striker cannot realistically
+/// reach its fault threshold (≈ 0.63 V).
+pub fn pool_fault_model() -> FaultModel {
+    FaultModel::new(
+        DspTiming {
+            stage_delay_ps: 3000.0,
+            budget_ps: 10_000.0,
+            window_frac: 0.12,
+            jitter_frac: 0.10,
+        },
+        pdn::delay::DelayModel::default(),
+    )
+}
+
+/// Counts of faults the executor actually applied during one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AppliedFaults {
+    /// Duplication faults applied.
+    pub duplicate: u64,
+    /// Random faults applied.
+    pub random: u64,
+}
+
+impl AppliedFaults {
+    /// Total faults applied.
+    pub fn total(&self) -> u64 {
+        self.duplicate + self.random
+    }
+}
+
+/// Runs one inference with fault injection; returns the final-stage
+/// accumulators (full-precision logits) and the applied-fault tally.
+///
+/// # Panics
+///
+/// Panics if `input` does not match the network's input shape.
+pub fn infer_with_faults(
+    net: &QuantizedNetwork,
+    input: &Tensor,
+    hook: &mut dyn MacHook,
+    rng: &mut impl Rng,
+) -> (Vec<i32>, AppliedFaults) {
+    let mut map = net.quantize_input(input);
+    let mut tally = AppliedFaults::default();
+    let last = net.layers().len() - 1;
+    for (stage_index, stage) in net.layers().iter().enumerate() {
+        match stage {
+            QLayer::Conv(c) => {
+                map = run_conv(net, c, &map, stage_index, hook, rng, &mut tally);
+            }
+            QLayer::MaxPool { window, .. } => {
+                // Pool comparators do not share the DSP timing; strikes at
+                // attack-level droop cannot fault them, so the hook is not
+                // consulted (see `pool_fault_model` for the margin).
+                map = net.run_stage(stage, &map);
+                let _ = window;
+            }
+            QLayer::Dense(d) => {
+                let accs = run_dense(d, &map, stage_index, hook, rng, &mut tally);
+                if stage_index == last {
+                    return (accs, tally);
+                }
+                let codes = accs
+                    .iter()
+                    .map(|&acc| match d.activation {
+                        Activation::Tanh => net.tanh_code(acc),
+                        Activation::None => {
+                            (acc as f32 / net.format().scale()).round().clamp(-128.0, 127.0) as i8
+                        }
+                    })
+                    .collect();
+                map = CodeMap { shape: vec![d.outputs], codes };
+            }
+        }
+    }
+    (map.codes.iter().map(|&c| i32::from(c)).collect(), tally)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_conv(
+    net: &QuantizedNetwork,
+    c: &QConv,
+    input: &CodeMap,
+    stage_index: usize,
+    hook: &mut dyn MacHook,
+    rng: &mut impl Rng,
+    tally: &mut AppliedFaults,
+) -> CodeMap {
+    assert_eq!(input.shape[0], c.in_channels, "conv input channels");
+    let (h, w) = (input.shape[1], input.shape[2]);
+    let (oh, ow) = (h - c.kernel + 1, w - c.kernel + 1);
+    let mut codes = vec![0i8; c.out_channels * oh * ow];
+    let mut op_index = 0u64;
+    // Per-PE P registers: with round-robin issue, the product a given DSP
+    // produced before op `i` is op `i − PE_COUNT`, not `i − 1`.
+    let mut last_products = DupRing::default();
+    for oc in 0..c.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: i32 = c.bias[oc];
+                for ic in 0..c.in_channels {
+                    for ky in 0..c.kernel {
+                        for kx in 0..c.kernel {
+                            let wv = c.weights
+                                [((oc * c.in_channels + ic) * c.kernel + ky) * c.kernel + kx];
+                            let xv = input.codes[(ic * h + oy + ky) * w + ox + kx];
+                            let product = i32::from(wv) * i32::from(xv);
+                            // Conv engines sum through adder trees: a late
+                            // product misses its slot, so duplication
+                            // faults corrupt conv outputs unconditionally.
+                            acc += apply_fault(
+                                product,
+                                hook.fault(stage_index, op_index, wv, xv),
+                                false,
+                                &mut last_products,
+                                rng,
+                                tally,
+                            );
+                            op_index += 1;
+                        }
+                    }
+                }
+                codes[(oc * oh + oy) * ow + ox] = match c.activation {
+                    Activation::Tanh => net.tanh_code(acc),
+                    Activation::None => {
+                        (acc as f32 / net.format().scale()).round().clamp(-128.0, 127.0) as i8
+                    }
+                };
+            }
+        }
+    }
+    CodeMap { shape: vec![c.out_channels, oh, ow], codes }
+}
+
+fn run_dense(
+    d: &QDense,
+    input: &CodeMap,
+    stage_index: usize,
+    hook: &mut dyn MacHook,
+    rng: &mut impl Rng,
+    tally: &mut AppliedFaults,
+) -> Vec<i32> {
+    assert_eq!(input.codes.len(), d.inputs, "dense input size");
+    let mut accs = vec![0i32; d.outputs];
+    let mut op_index = 0u64;
+    let mut last_products = DupRing::default();
+    for (o, acc_out) in accs.iter_mut().enumerate() {
+        let mut acc: i32 = d.bias[o];
+        let row = &d.weights[o * d.inputs..(o + 1) * d.inputs];
+        for (k, (wv, xv)) in row.iter().zip(&input.codes).enumerate() {
+            let product = i32::from(*wv) * i32::from(*xv);
+            // Dense stages accumulate serially on one DSP: a late product
+            // still lands next cycle ("absorbed by more serial
+            // summations"), so only a duplication at the fetch deadline
+            // (the chain's last op) leaves a stale value.
+            acc += apply_fault(
+                product,
+                hook.fault(stage_index, op_index, *wv, *xv),
+                k + 1 < d.inputs,
+                &mut last_products,
+                rng,
+                tally,
+            );
+            op_index += 1;
+        }
+        *acc_out = acc;
+    }
+    accs
+}
+
+/// Applies one fault decision to a product inside an accumulation chain.
+///
+/// Duplication faults are the "result arrives one cycle late" species.
+/// When `absorbed` is true (mid-chain op of a *serial* accumulation, i.e. a
+/// dense stage), the late product still lands next cycle and the sum is
+/// unharmed — the paper's "absorbed by more serial summations". Otherwise
+/// (conv adder trees, or a fetch-deadline op) the stale previous product is
+/// summed instead. Random faults corrupt unconditionally.
+/// Ring of the last product each PE produced (round-robin issue over
+/// [`DupRing::PE_COUNT`] DSPs).
+#[derive(Debug, Clone, Default)]
+struct DupRing {
+    ring: [i32; DupRing::PE_COUNT],
+    pos: usize,
+}
+
+impl DupRing {
+    /// Matches [`crate::schedule::AccelConfig::default`]'s `pe_count`.
+    const PE_COUNT: usize = 8;
+
+    /// Returns the issuing PE's previous product and records the new one.
+    fn exchange(&mut self, product: i32) -> i32 {
+        let stale = self.ring[self.pos];
+        self.ring[self.pos] = product;
+        self.pos = (self.pos + 1) % Self::PE_COUNT;
+        stale
+    }
+}
+
+fn apply_fault(
+    product: i32,
+    fault: MacFault,
+    absorbed: bool,
+    last_products: &mut DupRing,
+    rng: &mut impl Rng,
+    tally: &mut AppliedFaults,
+) -> i32 {
+    let stale = last_products.exchange(product);
+    match fault {
+        MacFault::None => product,
+        MacFault::Duplicate => {
+            tally.duplicate += 1;
+            if absorbed {
+                product
+            } else {
+                stale
+            }
+        }
+        MacFault::Random => {
+            tally.random += 1;
+            product ^ rng.gen_range(1i32..(1 << 16))
+        }
+    }
+}
+
+/// Classification with fault injection: argmax of faulty logits.
+pub fn predict_with_faults(
+    net: &QuantizedNetwork,
+    input: &Tensor,
+    hook: &mut dyn MacHook,
+    rng: &mut impl Rng,
+) -> usize {
+    let (logits, _) = infer_with_faults(net, input, hook, rng);
+    logits
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, &v)| (v, std::cmp::Reverse(*i)))
+        .map(|(i, _)| i)
+        .expect("non-empty logits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::fixed::QFormat;
+    use dnn::lenet::lenet5;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn qnet(seed: u64) -> QuantizedNetwork {
+        let net = lenet5(&mut StdRng::seed_from_u64(seed));
+        QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper()).unwrap()
+    }
+
+    #[test]
+    fn no_faults_matches_reference_bit_for_bit() {
+        let q = qnet(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        for k in 0..5 {
+            let x = Tensor::full(&[1, 28, 28], 0.1 + 0.15 * k as f32);
+            let (logits, tally) = infer_with_faults(&q, &x, &mut NoFaults, &mut rng);
+            assert_eq!(logits, q.infer_logits(&x), "divergence on input {k}");
+            assert_eq!(tally.total(), 0);
+        }
+    }
+
+    #[test]
+    fn full_random_faulting_changes_logits() {
+        let q = qnet(4);
+        let x = Tensor::full(&[1, 28, 28], 0.4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hook =
+            FixedRateHook { duplicate: 0.0, random: 1.0, rng: StdRng::seed_from_u64(2) };
+        let (logits, tally) = infer_with_faults(&q, &x, &mut hook, &mut rng);
+        assert_ne!(logits, q.infer_logits(&x));
+        assert!(tally.random > 100_000, "every DSP op faulted: {}", tally.random);
+        assert_eq!(tally.duplicate, 0);
+    }
+
+    #[test]
+    fn duplication_is_much_gentler_than_random() {
+        // Same fault count, different species: random corrupts logits far
+        // more than duplication — the paper's CONV2-vs-FC1 explanation.
+        let q = qnet(5);
+        let x = Tensor::full(&[1, 28, 28], 0.35);
+        let clean = q.infer_logits(&x);
+        let l1 = |a: &[i32], b: &[i32]| -> i64 {
+            a.iter().zip(b).map(|(x, y)| i64::from((x - y).abs())).sum()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut dup_hook =
+            FixedRateHook { duplicate: 0.3, random: 0.0, rng: StdRng::seed_from_u64(4) };
+        let (dup_logits, dup_tally) = infer_with_faults(&q, &x, &mut dup_hook, &mut rng);
+        let mut rnd_hook =
+            FixedRateHook { duplicate: 0.0, random: 0.3, rng: StdRng::seed_from_u64(4) };
+        let (rnd_logits, rnd_tally) = infer_with_faults(&q, &x, &mut rnd_hook, &mut rng);
+        assert!(dup_tally.duplicate > 0 && rnd_tally.random > 0);
+        let dup_err = l1(&dup_logits, &clean);
+        let rnd_err = l1(&rnd_logits, &clean);
+        assert!(
+            rnd_err > dup_err * 3,
+            "random error {rnd_err} must dwarf duplication error {dup_err}"
+        );
+    }
+
+    #[test]
+    fn hook_sees_correct_stage_indices_and_op_counts() {
+        struct Recorder {
+            per_stage: Vec<u64>,
+        }
+        impl MacHook for Recorder {
+            fn fault(&mut self, stage_index: usize, _op: u64, _w: i8, _x: i8) -> MacFault {
+                if self.per_stage.len() <= stage_index {
+                    self.per_stage.resize(stage_index + 1, 0);
+                }
+                self.per_stage[stage_index] += 1;
+                MacFault::None
+            }
+        }
+        let q = qnet(6);
+        let x = Tensor::zeros(&[1, 28, 28]);
+        let mut rec = Recorder { per_stage: Vec::new() };
+        let mut rng = StdRng::seed_from_u64(0);
+        infer_with_faults(&q, &x, &mut rec, &mut rng);
+        // Stages: conv1(0), pool1(1, no hook), conv2(2), fc1(3), fc2(4).
+        assert_eq!(rec.per_stage.len(), 5);
+        assert_eq!(rec.per_stage[0], 6 * 24 * 24 * 25);
+        assert_eq!(rec.per_stage[1], 0, "pool never consults the hook");
+        assert_eq!(rec.per_stage[2], 16 * 8 * 8 * 150);
+        assert_eq!(rec.per_stage[3], 1024 * 120);
+        assert_eq!(rec.per_stage[4], 120 * 10);
+    }
+
+    #[test]
+    fn pool_fault_model_needs_extreme_droop() {
+        let m = pool_fault_model();
+        assert_eq!(m.probabilities(0.80).total(), 0.0, "striker-level droop is harmless");
+        assert!(m.probabilities(0.55).total() > 0.0, "but deep brown-out still faults");
+    }
+
+    #[test]
+    fn predict_with_faults_matches_reference_when_clean() {
+        let q = qnet(7);
+        let x = Tensor::full(&[1, 28, 28], 0.25);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(predict_with_faults(&q, &x, &mut NoFaults, &mut rng), q.predict(&x));
+    }
+}

@@ -1,0 +1,131 @@
+//! DSP processing-element array.
+//!
+//! A thin round-robin wrapper over [`DspSlice`]s used by the Fig. 6
+//! characterisation harness: the paper feeds "10,000 randomly generated
+//! inputs" through DSP slices and strikes while they execute.
+
+use rand::Rng;
+
+use crate::dsp::{DspOp, DspResult, DspSlice, FaultTally};
+use crate::fault::FaultModel;
+
+/// An array of identical DSP slices with round-robin issue.
+#[derive(Debug, Clone)]
+pub struct PeArray {
+    slices: Vec<DspSlice>,
+    next: usize,
+}
+
+impl PeArray {
+    /// Creates `n` slices sharing one fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, fault_model: FaultModel) -> Self {
+        assert!(n > 0, "at least one PE required");
+        PeArray { slices: vec![DspSlice::new(fault_model); n], next: 0 }
+    }
+
+    /// Number of slices.
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Whether the array has no slices (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Issues an op to the next slice round-robin.
+    pub fn issue(&mut self, op: DspOp) {
+        self.slices[self.next].issue(op);
+        self.next = (self.next + 1) % self.slices.len();
+    }
+
+    /// Ticks every slice one cycle at the given voltage; returns all
+    /// results captured this cycle.
+    pub fn tick(&mut self, voltage: f64, rng: &mut impl Rng) -> Vec<DspResult> {
+        self.slices.iter_mut().filter_map(|s| s.tick(voltage, rng)).collect()
+    }
+
+    /// Drains every slice at a constant voltage.
+    pub fn drain(&mut self, voltage: f64, rng: &mut impl Rng) -> Vec<DspResult> {
+        let mut out = Vec::new();
+        for s in &mut self.slices {
+            out.extend(s.drain(voltage, rng));
+        }
+        out
+    }
+
+    /// Ops still in flight across all slices.
+    pub fn in_flight(&self) -> usize {
+        self.slices.iter().map(DspSlice::in_flight).sum()
+    }
+
+    /// Runs a whole batch at a fixed voltage (one issue per slice per
+    /// cycle) and tallies the fault outcomes — the inner loop of the
+    /// Fig. 6b characterisation.
+    pub fn characterize(
+        &mut self,
+        ops: impl Iterator<Item = DspOp>,
+        voltage: f64,
+        rng: &mut impl Rng,
+    ) -> FaultTally {
+        let mut tally = FaultTally::default();
+        for op in ops {
+            self.issue(op);
+            for r in self.tick(voltage, rng) {
+                tally.record(&r);
+            }
+        }
+        for r in self.drain(voltage, rng) {
+            tally.record(&r);
+        }
+        tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_robin_distributes_ops() {
+        let mut pe = PeArray::new(4, FaultModel::paper());
+        for i in 0..8 {
+            pe.issue(DspOp { a: i, b: 1, d: 0 });
+        }
+        assert_eq!(pe.in_flight(), 8);
+        assert_eq!(pe.len(), 4);
+    }
+
+    #[test]
+    fn characterize_clean_batch() {
+        let mut pe = PeArray::new(4, FaultModel::paper());
+        let mut rng = StdRng::seed_from_u64(0);
+        let ops = (0..1000).map(|i| DspOp { a: i, b: 3, d: 1 });
+        let tally = pe.characterize(ops, 1.0, &mut rng);
+        assert_eq!(tally.total(), 1000);
+        assert_eq!(tally.total_fault_rate(), 0.0);
+        assert_eq!(pe.in_flight(), 0);
+    }
+
+    #[test]
+    fn characterize_glitched_batch_faults() {
+        let mut pe = PeArray::new(4, FaultModel::paper());
+        let mut rng = StdRng::seed_from_u64(0);
+        let ops = (0..1000).map(|i| DspOp { a: i, b: 3, d: 1 });
+        let tally = pe.characterize(ops, 0.72, &mut rng);
+        assert_eq!(tally.total(), 1000);
+        assert!(tally.total_fault_rate() > 0.95, "rate {}", tally.total_fault_rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_sized_array_panics() {
+        PeArray::new(0, FaultModel::paper());
+    }
+}

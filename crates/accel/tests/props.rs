@@ -1,0 +1,123 @@
+//! Property-based tests for the accelerator simulator.
+
+use accel::dsp::{DspOp, DspSlice};
+use accel::executor::{infer_with_faults, FixedRateHook, NoFaults};
+use accel::fault::{DspTiming, FaultModel};
+use accel::schedule::{AccelConfig, Schedule};
+use dnn::fixed::QFormat;
+use dnn::layers::{Conv2d, Dense, MaxPool2d, Tanh};
+use dnn::network::Sequential;
+use dnn::quant::QuantizedNetwork;
+use dnn::tensor::Tensor;
+use pdn::delay::DelayModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Fault probabilities are a valid, voltage-monotone distribution for
+    /// any physically sensible timing parameters.
+    #[test]
+    fn probabilities_valid_and_monotone(
+        stage in 2_000.0f64..4_800.0,
+        window in 0.01f64..0.3,
+        jitter in 0.02f64..0.3,
+        v in 0.5f64..1.1,
+    ) {
+        let m = FaultModel::new(
+            DspTiming { stage_delay_ps: stage, budget_ps: 5_000.0, window_frac: window, jitter_frac: jitter },
+            DelayModel::default(),
+        );
+        let p = m.probabilities(v);
+        prop_assert!(p.duplicate >= 0.0 && p.random >= 0.0);
+        prop_assert!(p.total() <= 1.0 + 1e-12);
+        let deeper = m.probabilities(v - 0.05);
+        prop_assert!(deeper.total() >= p.total() - 1e-12);
+    }
+
+    /// Sampling at nominal voltage never faults for any op inputs.
+    #[test]
+    fn nominal_ops_never_fault(a in -128i32..128, b in -128i32..128, d in -128i32..128) {
+        let mut dsp = DspSlice::new(FaultModel::paper());
+        let mut rng = StdRng::seed_from_u64(7);
+        dsp.issue(DspOp { a, b, d });
+        let results = dsp.drain(1.0, &mut rng);
+        prop_assert_eq!(results.len(), 1);
+        prop_assert!(results[0].is_correct());
+        prop_assert_eq!(results[0].value, (i64::from(a) + i64::from(d)) * i64::from(b));
+    }
+
+    /// Schedule windows are disjoint, ordered and cover every op exactly
+    /// once, for arbitrary small conv architectures.
+    #[test]
+    fn schedule_invariants(
+        out1 in 1usize..6,
+        k1 in 1usize..4,
+        hidden in 1usize..40,
+        stall in 1u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sequential::new("t");
+        net.push(Box::new(Conv2d::new("conv1", 1, out1, k1, &mut rng)));
+        net.push(Box::new(Tanh::new("t1")));
+        net.push(Box::new(MaxPool2d::new("pool1", 2)));
+        let side = (12 - k1 + 1) / 2;
+        net.push(Box::new(Dense::new("fc1", out1 * side * side, hidden, &mut rng)));
+        net.push(Box::new(Dense::new("fc2", hidden, 10, &mut rng)));
+        // Pool needs even input: only keep cases where 12-k1+1 is even.
+        prop_assume!((12 - k1 + 1) % 2 == 0);
+        let q = QuantizedNetwork::from_sequential(&net, &[1, 12, 12], QFormat::paper()).unwrap();
+        let schedule = Schedule::for_network(
+            &q,
+            &AccelConfig { stall_cycles: stall, ..AccelConfig::default() },
+        );
+        let mut prev_end = 0u64;
+        for w in schedule.windows() {
+            prop_assert_eq!(w.start_cycle, prev_end + stall);
+            prop_assert!(w.cycles >= 1);
+            prop_assert!(w.ops >= w.outputs);
+            prev_end = w.end_cycle();
+        }
+        prop_assert_eq!(schedule.total_cycles(), prev_end + stall);
+        // cycle_of_op stays in range for boundary ops of every window.
+        for w in schedule.windows() {
+            for op in [0, w.ops - 1] {
+                prop_assert!(w.contains(w.cycle_of_op(op)));
+            }
+        }
+    }
+
+    /// The executor's fault tally equals what the hook injected.
+    #[test]
+    fn executor_counts_what_the_hook_injects(dup in 0.0f64..0.2, rnd in 0.0f64..0.2, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new("t");
+        net.push(Box::new(Dense::new("fc1", 64, 16, &mut StdRng::seed_from_u64(2))));
+        net.push(Box::new(Tanh::new("t1")));
+        net.push(Box::new(Dense::new("fc2", 16, 4, &mut StdRng::seed_from_u64(3))));
+        let q = QuantizedNetwork::from_sequential(&net, &[1, 8, 8], QFormat::paper()).unwrap();
+        let x = Tensor::full(&[1, 8, 8], 0.3);
+        let mut hook = FixedRateHook { duplicate: dup, random: rnd, rng: StdRng::seed_from_u64(seed) };
+        let (_, tally) = infer_with_faults(&q, &x, &mut hook, &mut rng);
+        let total_ops = (64 * 16 + 16 * 4) as f64;
+        let expected = (dup + rnd) * total_ops;
+        // Binomial tolerance: 5 sigma.
+        let sigma = (total_ops * (dup + rnd) * (1.0 - dup - rnd).max(0.01)).sqrt();
+        prop_assert!(
+            (tally.total() as f64 - expected).abs() <= 5.0 * sigma + 3.0,
+            "tally {} vs expected {expected}",
+            tally.total()
+        );
+    }
+
+    /// Fault-free execution matches the reference for random inputs.
+    #[test]
+    fn clean_execution_matches_reference(fill in 0.0f32..1.0, seed in 0u64..50) {
+        let net = dnn::zoo::mlp(&mut StdRng::seed_from_u64(seed));
+        let q = QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper()).unwrap();
+        let x = Tensor::full(&[1, 28, 28], fill);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (logits, _) = infer_with_faults(&q, &x, &mut NoFaults, &mut rng);
+        prop_assert_eq!(logits, q.infer_logits(&x));
+    }
+}

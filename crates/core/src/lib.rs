@@ -1,0 +1,68 @@
+//! # DeepStrike
+//!
+//! A from-scratch reproduction of *DeepStrike: Remotely-Guided Fault
+//! Injection Attacks on DNN Accelerator in Cloud-FPGA* (DAC 2021) as a
+//! software co-simulation. The physical FPGA is replaced by behavioural
+//! substrates (`fpga-fabric`, `pdn`, `accel`, `dnn`); this crate is the
+//! attack itself:
+//!
+//! * [`tdc`] — the TDC-based delay sensor (`F_dr` = 200 MHz, `DL_LUT` = 4,
+//!   `DL_CARRY` = 128, θ calibrated to a readout of ≈ 90).
+//! * [`striker`] — the DRC-legal power striker: one `LUT6_2` as two
+//!   parallel inverters closing two latch loops (paper Fig. 2).
+//! * [`detector`] — the DNN start detector FSM over five TDC zone taps.
+//! * [`signal_ram`] — the BRAM-resident attack-scheme bit vector (attack
+//!   delay / attack period / number of attacks).
+//! * [`scheduler`] — detector + signal RAM → striker `Start`.
+//! * [`profile`] — TDC trace segmentation and the layer-signature library.
+//! * [`cosim`] — the prototyped cloud FPGA: victim accelerator and
+//!   attacker sharing one PDN, remotely driven over [`uart`].
+//! * [`attack`] — profile → plan → launch → score, with the blind
+//!   baseline.
+//! * [`hypervisor`] — tenant combination, DRC gating and floorplanning on
+//!   the Zynq-7020 budget.
+//!
+//! # Example: one guided strike campaign
+//!
+//! ```no_run
+//! use accel::fault::FaultModel;
+//! use accel::schedule::AccelConfig;
+//! use deepstrike::attack::{evaluate_attack, plan_attack, profile_victim};
+//! use deepstrike::cosim::{CloudFpga, CosimConfig};
+//! use dnn::digits::{Dataset, RenderParams};
+//! use dnn::fixed::QFormat;
+//! use dnn::lenet::lenet5;
+//! use dnn::quant::QuantizedNetwork;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let victim = lenet5(&mut rng); // train first in a real run
+//! let q = QuantizedNetwork::from_sequential(&victim, &[1, 28, 28], QFormat::paper())?;
+//! let mut fpga = CloudFpga::new(&q, &AccelConfig::default(), 12_000, CosimConfig::default())?;
+//! fpga.settle(100);
+//! let profile = profile_victim(&mut fpga, &["conv1", "pool1", "conv2", "fc1", "fc2"], 3)?;
+//! let scheme = plan_attack(&profile, "conv2", 4_500)?;
+//! fpga.scheduler_mut().load_scheme(&scheme)?;
+//! fpga.scheduler_mut().arm(true)?;
+//! let run = fpga.run_inference();
+//! let test = Dataset::generate(100, &RenderParams::default(), &mut rng);
+//! let outcome =
+//!     evaluate_attack(&q, fpga.schedule(), &run, test.iter(), FaultModel::paper(), 7);
+//! println!("accuracy drop: {:.1} points", outcome.accuracy_drop());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod attack;
+pub mod cosim;
+pub mod defense;
+pub mod detector;
+pub mod hypervisor;
+pub mod profile;
+pub mod scheduler;
+pub mod signal_ram;
+pub mod striker;
+pub mod tdc;
+
+mod error;
+
+pub use error::{DeepStrikeError, Result};

@@ -1,0 +1,320 @@
+//! TDC-based delay sensor (the attack scheduler's eyes).
+//!
+//! Paper Fig. 1a: a launch clock drives an edge through `DL_LUT` (a short
+//! LUT delay line, length 4) into `DL_CARRY` (a 128-element carry chain);
+//! a second clock of the same frequency, offset by a calibrated phase θ,
+//! samples the carry-chain taps into registers. The captured 128-bit
+//! thermometer vector — a run of consecutive `1`s followed by `0`s — says
+//! how far the edge travelled in θ; since propagation delay depends on the
+//! rail voltage, the encoder's popcount (128 bits → one byte) is a live
+//! voltage probe. The paper's configuration: `F_dr = 200 MHz`,
+//! `L_LUT = 4`, `L_CARRY = 128`, θ calibrated so the readout is ≈ 90 at
+//! nominal voltage.
+
+use fpga_fabric::clock::{ClockSpec, Mmcm};
+use fpga_fabric::netlist::Netlist;
+use fpga_fabric::primitive::{Carry4, PrimitiveKind};
+use pdn::delay::DelayModel;
+
+use crate::error::{DeepStrikeError, Result};
+
+/// TDC structural configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TdcConfig {
+    /// Driving/sampling clock frequency in MHz.
+    pub f_dr_mhz: f64,
+    /// LUT delay-line length.
+    pub l_lut: usize,
+    /// Carry-chain length (= output register count).
+    pub l_carry: usize,
+    /// Measurement dither amplitude in carry stages (models launch/sample
+    /// clock jitter; 0 disables).
+    pub dither_stages: f64,
+}
+
+impl Default for TdcConfig {
+    fn default() -> Self {
+        // The paper's exact configuration.
+        TdcConfig { f_dr_mhz: 200.0, l_lut: 4, l_carry: 128, dither_stages: 0.8 }
+    }
+}
+
+/// One captured sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TdcReading {
+    /// Raw thermometer vector, bit `i` = carry tap `i` (LSB first). Only
+    /// meaningful for `l_carry <= 128`.
+    pub raw: u128,
+    /// Encoder output: number of `1`s, saturated to `u8`.
+    pub count: u8,
+}
+
+/// The delay sensor with its locked clock pair.
+///
+/// # Example
+///
+/// ```
+/// use deepstrike::tdc::{TdcConfig, TdcSensor};
+///
+/// let mut tdc = TdcSensor::calibrated(TdcConfig::default(), 100.0, 90)?;
+/// let nominal = tdc.sample(1.0);
+/// assert!((i32::from(nominal.count) - 90).abs() <= 2);
+/// let drooped = tdc.sample(0.92);
+/// assert!(drooped.count < nominal.count, "droop slows the edge");
+/// # Ok::<(), deepstrike::DeepStrikeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TdcSensor {
+    config: TdcConfig,
+    launch: ClockSpec,
+    sample_clock: ClockSpec,
+    delay_model: DelayModel,
+    sample_counter: u64,
+}
+
+impl TdcSensor {
+    /// Builds a sensor with an explicit phase offset θ (degrees).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepStrikeError::Fabric`] if the clock-management tile
+    /// cannot synthesise the requested pair, or
+    /// [`DeepStrikeError::InvalidConfig`] for degenerate geometry.
+    pub fn with_theta(config: TdcConfig, ref_clock_mhz: f64, theta_deg: f64) -> Result<Self> {
+        if config.l_lut == 0 || config.l_carry == 0 || config.l_carry > 128 {
+            return Err(DeepStrikeError::InvalidConfig(
+                "delay-line lengths must be 1..=128".into(),
+            ));
+        }
+        let mmcm = Mmcm::lock_default(ref_clock_mhz)?;
+        let (launch, sample_clock) = mmcm.derive_pair(config.f_dr_mhz, theta_deg)?;
+        Ok(TdcSensor {
+            config,
+            launch,
+            sample_clock,
+            delay_model: DelayModel::default(),
+            sample_counter: 0,
+        })
+    }
+
+    /// Builds a sensor and calibrates θ so the nominal-voltage readout is
+    /// `target_count` (the paper calibrates to ≈ 90 consecutive `1`s).
+    ///
+    /// # Errors
+    ///
+    /// As [`TdcSensor::with_theta`], plus [`DeepStrikeError::Calibration`]
+    /// if no phase setting reaches the target within ±3 counts.
+    pub fn calibrated(config: TdcConfig, ref_clock_mhz: f64, target_count: u8) -> Result<Self> {
+        if usize::from(target_count) >= config.l_carry {
+            return Err(DeepStrikeError::Calibration(format!(
+                "target count {target_count} exceeds carry length {}",
+                config.l_carry
+            )));
+        }
+        // Analytic seed: θ_ps such that the edge reaches `target_count`
+        // stages at nominal voltage, then a local search over the phase
+        // grid to absorb MMCM quantisation.
+        let ideal_ps = Self::lut_delay_ps(&config) * 1.0
+            + target_count as f64 * Carry4::per_stage_delay_ps();
+        let period_ps = 1.0e6 / config.f_dr_mhz;
+        let seed_deg = ideal_ps / period_ps * 360.0;
+        let mut best: Option<(f64, i32)> = None;
+        for step in -40..=40 {
+            let theta = seed_deg + f64::from(step) * 0.25;
+            if !(0.0..360.0).contains(&theta) {
+                continue;
+            }
+            let mut probe = TdcSensor::with_theta(config, ref_clock_mhz, theta)?;
+            probe.config.dither_stages = 0.0;
+            let got = i32::from(probe.sample(probe.delay_model.v_nom).count);
+            let err = (got - i32::from(target_count)).abs();
+            if best.map_or(true, |(_, e)| err < e) {
+                best = Some((theta, err));
+            }
+        }
+        match best {
+            Some((theta, err)) if err <= 3 => TdcSensor::with_theta(config, ref_clock_mhz, theta),
+            _ => Err(DeepStrikeError::Calibration(format!(
+                "no phase reaches count {target_count} (best error {:?})",
+                best.map(|(_, e)| e)
+            ))),
+        }
+    }
+
+    fn lut_delay_ps(config: &TdcConfig) -> f64 {
+        config.l_lut as f64 * PrimitiveKind::Lut6.nominal_delay_ps()
+    }
+
+    /// Structural configuration.
+    pub fn config(&self) -> &TdcConfig {
+        &self.config
+    }
+
+    /// Achieved launch clock.
+    pub fn launch_clock(&self) -> &ClockSpec {
+        &self.launch
+    }
+
+    /// Achieved sampling clock (phase-offset by θ).
+    pub fn sample_clock(&self) -> &ClockSpec {
+        &self.sample_clock
+    }
+
+    /// The calibrated phase offset θ in degrees.
+    pub fn theta_deg(&self) -> f64 {
+        self.sample_clock.phase_deg
+    }
+
+    /// Sampling interval in seconds (one capture per sampling-clock cycle).
+    pub fn sample_interval_s(&self) -> f64 {
+        1.0e-6 / self.sample_clock.freq_mhz
+    }
+
+    /// Captures one reading at the given rail voltage.
+    ///
+    /// The number of carry stages the edge traverses in the phase window is
+    /// `(θ_ps − t_lut·k(V)) / (t_stage·k(V))` where `k` is the alpha-power
+    /// delay factor; a deterministic triangular dither models clock jitter.
+    pub fn sample(&mut self, voltage: f64) -> TdcReading {
+        let factor = self.delay_model.factor(voltage);
+        let theta_ps = self.sample_clock.phase_ps();
+        let lut_ps = Self::lut_delay_ps(&self.config) * factor;
+        let stage_ps = Carry4::per_stage_delay_ps() * factor;
+        let mut stages = ((theta_ps - lut_ps) / stage_ps).max(0.0);
+        if self.config.dither_stages > 0.0 {
+            // Deterministic triangular dither from a weyl sequence.
+            self.sample_counter = self.sample_counter.wrapping_add(1);
+            let u = (self.sample_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64
+                / (1u64 << 53) as f64;
+            stages += (u * 2.0 - 1.0) * self.config.dither_stages;
+        }
+        let n = (stages.round().max(0.0) as usize).min(self.config.l_carry);
+        let raw = if n == 0 {
+            0
+        } else if n >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << n) - 1
+        };
+        TdcReading { raw, count: n.min(255) as u8 }
+    }
+
+    /// Emits the sensor as an auditable netlist (delay line + carry chain +
+    /// capture registers + encoder LUTs), for DRC and resource accounting.
+    pub fn netlist(&self) -> Netlist {
+        let mut n = Netlist::new("tdc_sensor");
+        let mut prev = None;
+        for i in 0..self.config.l_lut {
+            let lut = n.add_cell(&format!("dl_lut{i}"), PrimitiveKind::Lut6, None);
+            if let Some(p) = prev {
+                n.connect(n.output_of(p), n.input_of(lut, 0)).expect("fresh pins");
+            }
+            prev = Some(lut);
+        }
+        let carry_blocks = self.config.l_carry.div_ceil(4);
+        let mut prev_carry = prev;
+        for i in 0..carry_blocks {
+            let c = n.add_cell(&format!("dl_carry{i}"), PrimitiveKind::Carry4, None);
+            if let Some(p) = prev_carry {
+                n.connect(n.output_of(p), n.input_of(c, 0)).expect("fresh pins");
+            }
+            for tap in 0..4 {
+                let ff = n.add_cell(&format!("cap{i}_{tap}"), PrimitiveKind::Fdre, None);
+                n.connect(n.output_pin(c, 4 + tap as u8), n.input_of(ff, 0))
+                    .expect("fresh pins");
+            }
+            prev_carry = Some(c);
+        }
+        // Encoder: a popcount tree, roughly one LUT per 3 taps.
+        for i in 0..self.config.l_carry.div_ceil(3) {
+            n.add_cell(&format!("enc{i}"), PrimitiveKind::Lut6, None);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_fabric::drc;
+
+    fn sensor() -> TdcSensor {
+        TdcSensor::calibrated(TdcConfig::default(), 100.0, 90).expect("calibration")
+    }
+
+    #[test]
+    fn calibration_hits_the_paper_operating_point() {
+        let mut tdc = sensor();
+        assert!((tdc.launch_clock().freq_mhz - 200.0).abs() < 1.0);
+        let r = tdc.sample(1.0);
+        assert!((i32::from(r.count) - 90).abs() <= 2, "count {}", r.count);
+        // Thermometer structure: bits 0..count set.
+        assert_eq!(r.raw.count_ones(), u32::from(r.count));
+        assert_eq!(r.raw.trailing_ones(), u32::from(r.count));
+    }
+
+    #[test]
+    fn readout_decreases_monotonically_with_droop() {
+        let mut tdc = sensor();
+        tdc.config.dither_stages = 0.0;
+        let mut prev = u8::MAX;
+        for mv in (700..=1000).rev().step_by(20) {
+            let v = mv as f64 / 1000.0;
+            let c = tdc.sample(v).count;
+            assert!(c <= prev, "count must fall as voltage falls ({v} V: {c} > {prev})");
+            prev = c;
+        }
+        // A big droop must be clearly visible.
+        let nominal = tdc.sample(1.0).count;
+        let glitched = tdc.sample(0.85).count;
+        assert!(nominal - glitched >= 8, "droop barely visible: {nominal} -> {glitched}");
+    }
+
+    #[test]
+    fn dither_keeps_idle_readout_within_two_counts() {
+        let mut tdc = sensor();
+        let counts: Vec<u8> = (0..100).map(|_| tdc.sample(1.0).count).collect();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max - min <= 3, "dither spread too wide: {min}..{max}");
+        assert!(max > min, "dither must actually dither");
+    }
+
+    #[test]
+    fn extreme_voltages_saturate_cleanly() {
+        let mut tdc = sensor();
+        tdc.config.dither_stages = 0.0;
+        let dead = tdc.sample(0.2);
+        assert_eq!(dead.count, 0, "edge never leaves the LUT line");
+        let over = tdc.sample(2.0);
+        assert!(over.count >= 90, "overdrive speeds the edge up");
+        assert!(usize::from(over.count) <= tdc.config().l_carry);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let bad = TdcConfig { l_carry: 0, ..TdcConfig::default() };
+        assert!(TdcSensor::with_theta(bad, 100.0, 90.0).is_err());
+        let bad = TdcConfig { l_carry: 256, ..TdcConfig::default() };
+        assert!(TdcSensor::with_theta(bad, 100.0, 90.0).is_err());
+        assert!(TdcSensor::calibrated(TdcConfig::default(), 100.0, 200).is_err());
+    }
+
+    #[test]
+    fn sensor_netlist_passes_drc() {
+        let tdc = sensor();
+        let n = tdc.netlist();
+        let report = drc::check(&n);
+        assert!(report.is_deployable(), "{report}");
+        let usage = n.resource_usage();
+        assert_eq!(usage.carry4, 32, "128 taps = 32 CARRY4");
+        assert_eq!(usage.flip_flops, 128, "one capture register per tap");
+        assert!(usage.luts >= 4 + 43, "delay line + encoder LUTs");
+    }
+
+    #[test]
+    fn sample_interval_matches_200mhz() {
+        let tdc = sensor();
+        assert!((tdc.sample_interval_s() - 5e-9).abs() < 1e-10);
+    }
+}

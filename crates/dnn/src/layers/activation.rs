@@ -1,0 +1,108 @@
+//! Activation functions.
+//!
+//! The paper's quantised LeNet-5 uses the hyperbolic tangent ("the
+//! activation function we use in this case study is the hyperbolic tangent
+//! (tanh)", §IV), which also bounds activations into the fixed-point range.
+
+use crate::layers::{Layer, LayerKind};
+use crate::tensor::Tensor;
+
+/// Elementwise `tanh` activation.
+///
+/// # Example
+///
+/// ```
+/// use dnn::layers::{Layer, Tanh};
+/// use dnn::tensor::Tensor;
+///
+/// let mut act = Tanh::new("tanh1");
+/// let out = act.forward(&Tensor::from_vec(vec![0.0, 100.0], &[2]));
+/// assert_eq!(out.data()[0], 0.0);
+/// assert!((out.data()[1] - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tanh {
+    name: String,
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a named tanh layer.
+    pub fn new(name: &str) -> Self {
+        Tanh { name: name.to_string(), cached_output: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Tanh
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cached_output.as_ref().expect("backward before forward");
+        // A following layer may have flattened the feature map (e.g. a
+        // dense layer after a conv); only the volume must match.
+        let grad = grad_out.reshaped(y.shape());
+        // d tanh(x)/dx = 1 − tanh²(x) = 1 − y².
+        y.zip(&grad, |yi, g| g * (1.0 - yi * yi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_std_tanh() {
+        let mut act = Tanh::new("t");
+        let input = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 0.5, 2.0], &[5]);
+        let out = act.forward(&input);
+        for (x, y) in input.data().iter().zip(out.data()) {
+            assert!((y - x.tanh()).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        let mut act = Tanh::new("t");
+        let input = Tensor::from_vec(vec![0.3, -1.1, 0.0], &[3]);
+        let out = act.forward(&input);
+        let grad_in = act.backward(&out); // L = sum(out²)/2
+        let eps = 1e-3f32;
+        for idx in 0..3 {
+            let mut ip = input.clone();
+            ip.data_mut()[idx] += eps;
+            let mut im = input.clone();
+            im.data_mut()[idx] -= eps;
+            let lp: f32 = ip.data().iter().map(|v| v.tanh().powi(2)).sum::<f32>() / 2.0;
+            let lm: f32 = im.data().iter().map(|v| v.tanh().powi(2)).sum::<f32>() / 2.0;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grad_in.data()[idx]).abs() < 1e-3, "grad {idx}");
+        }
+    }
+
+    #[test]
+    fn saturation_kills_gradient() {
+        let mut act = Tanh::new("t");
+        act.forward(&Tensor::from_vec(vec![50.0], &[1]));
+        let g = act.backward(&Tensor::from_vec(vec![1.0], &[1]));
+        assert!(g.data()[0].abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut act = Tanh::new("t");
+        act.backward(&Tensor::zeros(&[1]));
+    }
+}

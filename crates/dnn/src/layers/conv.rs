@@ -1,0 +1,324 @@
+//! 2-D convolution (valid padding, stride 1), as used by LeNet-5.
+
+use rand::Rng;
+
+use crate::layers::{sgd_update, Layer, LayerKind, LayerParams};
+use crate::tensor::Tensor;
+
+/// A 2-D convolution layer.
+///
+/// Input `[C_in, H, W]`, kernels `[C_out, C_in, K, K]`, output
+/// `[C_out, H-K+1, W-K+1]`.
+///
+/// # Example
+///
+/// ```
+/// use dnn::layers::{Conv2d, Layer};
+/// use dnn::tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut conv = Conv2d::new("conv1", 1, 6, 5, &mut rng);
+/// let out = conv.forward(&Tensor::zeros(&[1, 28, 28]));
+/// assert_eq!(out.shape(), &[6, 24, 24]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    name: String,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    weights: Tensor,
+    bias: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    vel_w: Tensor,
+    vel_b: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-uniform initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0);
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let bound = (2.0 / fan_in).sqrt();
+        let w_shape = [out_channels, in_channels, kernel, kernel];
+        let data: Vec<f32> = (0..w_shape.iter().product::<usize>())
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Conv2d {
+            name: name.to_string(),
+            in_channels,
+            out_channels,
+            kernel,
+            weights: Tensor::from_vec(data, &w_shape),
+            bias: Tensor::zeros(&[out_channels]),
+            grad_w: Tensor::zeros(&w_shape),
+            grad_b: Tensor::zeros(&[out_channels]),
+            vel_w: Tensor::zeros(&w_shape),
+            vel_b: Tensor::zeros(&[out_channels]),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is smaller than the kernel.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(h >= self.kernel && w >= self.kernel, "input smaller than kernel");
+        (h - self.kernel + 1, w - self.kernel + 1)
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv {
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape()[0], self.in_channels, "channel mismatch");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = self.output_hw(h, w);
+        let k = self.kernel;
+        let mut out = Tensor::zeros(&[self.out_channels, oh, ow]);
+        let in_data = input.data();
+        let w_data = self.weights.data();
+        let out_data = out.data_mut();
+        for oc in 0..self.out_channels {
+            let b = self.bias.data()[oc];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ic in 0..self.in_channels {
+                        let w_base = ((oc * self.in_channels + ic) * k) * k;
+                        let in_base = ic * h * w;
+                        for ky in 0..k {
+                            let in_row = in_base + (oy + ky) * w + ox;
+                            let w_row = w_base + ky * k;
+                            for kx in 0..k {
+                                acc += w_data[w_row + kx] * in_data[in_row + kx];
+                            }
+                        }
+                    }
+                    out_data[(oc * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = (grad_out.shape()[1], grad_out.shape()[2]);
+        let k = self.kernel;
+        let mut grad_in = Tensor::zeros(&[self.in_channels, h, w]);
+        let in_data = input.data();
+        let go = grad_out.data();
+        let w_data = self.weights.data();
+        {
+            let gw = self.grad_w.data_mut();
+            let gb = self.grad_b.data_mut();
+            let gi = grad_in.data_mut();
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[(oc * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += g;
+                        for ic in 0..self.in_channels {
+                            let w_base = ((oc * self.in_channels + ic) * k) * k;
+                            let in_base = ic * h * w;
+                            for ky in 0..k {
+                                let in_row = in_base + (oy + ky) * w + ox;
+                                let w_row = w_base + ky * k;
+                                for kx in 0..k {
+                                    gw[w_row + kx] += g * in_data[in_row + kx];
+                                    gi[in_row + kx] += g * w_data[w_row + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn apply_gradients(&mut self, lr: f32, momentum: f32) {
+        sgd_update(&mut self.weights, &mut self.grad_w, &mut self.vel_w, lr, momentum);
+        sgd_update(&mut self.bias, &mut self.grad_b, &mut self.vel_b, lr, momentum);
+    }
+
+    fn zero_gradients(&mut self) {
+        self.grad_w.data_mut().iter_mut().for_each(|g| *g = 0.0);
+        self.grad_b.data_mut().iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn params(&self) -> Option<LayerParams> {
+        Some(LayerParams { weights: self.weights.clone(), bias: self.bias.clone() })
+    }
+
+    fn set_params(&mut self, params: LayerParams) {
+        assert_eq!(params.weights.shape(), self.weights.shape(), "weight shape mismatch");
+        assert_eq!(params.bias.shape(), self.bias.shape(), "bias shape mismatch");
+        self.weights = params.weights;
+        self.bias = params.bias;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input_window() {
+        let mut conv = Conv2d::new("c", 1, 1, 1, &mut rng());
+        conv.set_params(LayerParams {
+            weights: Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]),
+            bias: Tensor::zeros(&[1]),
+        });
+        let input = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 3, 3]);
+        let out = conv.forward(&input);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let mut conv = Conv2d::new("c", 1, 1, 2, &mut rng());
+        conv.set_params(LayerParams {
+            weights: Tensor::from_vec(vec![1.0, 0.0, 0.0, -1.0], &[1, 1, 2, 2]),
+            bias: Tensor::from_vec(vec![0.5], &[1]),
+        });
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 3, 3]);
+        let out = conv.forward(&input);
+        // out[y][x] = in[y][x] - in[y+1][x+1] + 0.5 = -4 + 0.5
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        for &v in out.data() {
+            assert!((v + 3.5).abs() < 1e-6, "{v}");
+        }
+    }
+
+    #[test]
+    fn multi_channel_shapes() {
+        let mut conv = Conv2d::new("c", 6, 16, 5, &mut rng());
+        let out = conv.forward(&Tensor::zeros(&[6, 12, 12]));
+        assert_eq!(out.shape(), &[16, 8, 8]);
+        assert_eq!(conv.param_count(), 16 * 6 * 25 + 16);
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        // Finite-difference check on a tiny conv.
+        let mut conv = Conv2d::new("c", 2, 2, 2, &mut rng());
+        let input = {
+            let mut r = rng();
+            Tensor::from_vec((0..2 * 3 * 3).map(|_| r.gen_range(-1.0..1.0)).collect(), &[2, 3, 3])
+        };
+        // Loss = sum(out^2)/2, dL/dout = out.
+        let out = conv.forward(&input);
+        let grad_in = conv.backward(&out);
+
+        let eps = 1e-3f32;
+        let loss = |c: &mut Conv2d, inp: &Tensor| -> f32 {
+            let o = c.forward(inp);
+            o.data().iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+
+        // Check dL/dinput at a few positions.
+        for idx in [0usize, 5, 11, 17] {
+            let mut ip = input.clone();
+            ip.data_mut()[idx] += eps;
+            let mut im = input.clone();
+            im.data_mut()[idx] -= eps;
+            let num = (loss(&mut conv.clone(), &ip) - loss(&mut conv.clone(), &im)) / (2.0 * eps);
+            let ana = grad_in.data()[idx];
+            assert!((num - ana).abs() < 2e-2, "input grad at {idx}: num {num} vs ana {ana}");
+        }
+
+        // Check dL/dw at a few positions.
+        for idx in [0usize, 3, 7, 15] {
+            let mut cp = conv.clone();
+            let mut pp = cp.params().unwrap();
+            pp.weights.data_mut()[idx] += eps;
+            cp.set_params(pp);
+            let lp = loss(&mut cp, &input);
+
+            let mut cm = conv.clone();
+            let mut pm = cm.params().unwrap();
+            pm.weights.data_mut()[idx] -= eps;
+            cm.set_params(pm);
+            let lm = loss(&mut cm, &input);
+
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = conv.grad_w.data()[idx];
+            assert!((num - ana).abs() < 2e-2, "weight grad at {idx}: num {num} vs ana {ana}");
+        }
+    }
+
+    #[test]
+    fn apply_gradients_changes_weights_and_clears() {
+        let mut conv = Conv2d::new("c", 1, 1, 2, &mut rng());
+        let input = Tensor::full(&[1, 3, 3], 1.0);
+        let out = conv.forward(&input);
+        conv.backward(&out.map(|_| 1.0));
+        let before = conv.params().unwrap().weights;
+        conv.apply_gradients(0.1, 0.0);
+        let after = conv.params().unwrap().weights;
+        assert_ne!(before.data(), after.data());
+        assert!(conv.grad_w.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut conv = Conv2d::new("c", 1, 1, 2, &mut rng());
+        conv.backward(&Tensor::zeros(&[1, 2, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let mut conv = Conv2d::new("c", 2, 1, 2, &mut rng());
+        conv.forward(&Tensor::zeros(&[1, 4, 4]));
+    }
+}

@@ -1,0 +1,226 @@
+//! Fully connected layer.
+
+use rand::Rng;
+
+use crate::layers::{sgd_update, Layer, LayerKind, LayerParams};
+use crate::tensor::Tensor;
+
+/// A fully connected (dense) layer: `y = W·x + b`.
+///
+/// Accepts any input shape and flattens it; outputs `[outputs]`.
+///
+/// # Example
+///
+/// ```
+/// use dnn::layers::{Dense, Layer};
+/// use dnn::tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut fc = Dense::new("fc1", 1024, 120, &mut rng);
+/// let out = fc.forward(&Tensor::zeros(&[16, 8, 8]));
+/// assert_eq!(out.shape(), &[120]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    name: String,
+    inputs: usize,
+    outputs: usize,
+    weights: Tensor,
+    bias: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    vel_w: Tensor,
+    vel_b: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-uniform initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(name: &str, inputs: usize, outputs: usize, rng: &mut impl Rng) -> Self {
+        assert!(inputs > 0 && outputs > 0);
+        let bound = (2.0 / inputs as f32).sqrt();
+        let data: Vec<f32> =
+            (0..inputs * outputs).map(|_| rng.gen_range(-bound..bound)).collect();
+        Dense {
+            name: name.to_string(),
+            inputs,
+            outputs,
+            weights: Tensor::from_vec(data, &[outputs, inputs]),
+            bias: Tensor::zeros(&[outputs]),
+            grad_w: Tensor::zeros(&[outputs, inputs]),
+            grad_b: Tensor::zeros(&[outputs]),
+            vel_w: Tensor::zeros(&[outputs, inputs]),
+            vel_b: Tensor::zeros(&[outputs]),
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Dense { inputs: self.inputs, outputs: self.outputs }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.len(), self.inputs, "dense input size mismatch");
+        let x = input.data();
+        let w = self.weights.data();
+        let mut out = Tensor::zeros(&[self.outputs]);
+        let out_data = out.data_mut();
+        for o in 0..self.outputs {
+            let row = &w[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = self.bias.data()[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out_data[o] = acc;
+        }
+        self.cached_input = Some(input.reshaped(&[self.inputs]));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.len(), self.outputs, "gradient size mismatch");
+        let x = input.data();
+        let go = grad_out.data();
+        let w = self.weights.data();
+        let mut grad_in = Tensor::zeros(&[self.inputs]);
+        {
+            let gi = grad_in.data_mut();
+            let gw = self.grad_w.data_mut();
+            let gb = self.grad_b.data_mut();
+            for o in 0..self.outputs {
+                let g = go[o];
+                gb[o] += g;
+                if g == 0.0 {
+                    continue;
+                }
+                let row = o * self.inputs;
+                for i in 0..self.inputs {
+                    gw[row + i] += g * x[i];
+                    gi[i] += g * w[row + i];
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn apply_gradients(&mut self, lr: f32, momentum: f32) {
+        sgd_update(&mut self.weights, &mut self.grad_w, &mut self.vel_w, lr, momentum);
+        sgd_update(&mut self.bias, &mut self.grad_b, &mut self.vel_b, lr, momentum);
+    }
+
+    fn zero_gradients(&mut self) {
+        self.grad_w.data_mut().iter_mut().for_each(|g| *g = 0.0);
+        self.grad_b.data_mut().iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn params(&self) -> Option<LayerParams> {
+        Some(LayerParams { weights: self.weights.clone(), bias: self.bias.clone() })
+    }
+
+    fn set_params(&mut self, params: LayerParams) {
+        assert_eq!(params.weights.shape(), self.weights.shape(), "weight shape mismatch");
+        assert_eq!(params.bias.shape(), self.bias.shape(), "bias shape mismatch");
+        self.weights = params.weights;
+        self.bias = params.bias;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn known_matvec() {
+        let mut fc = Dense::new("fc", 3, 2, &mut rng());
+        fc.set_params(LayerParams {
+            weights: Tensor::from_vec(vec![1.0, 2.0, 3.0, 0.0, -1.0, 1.0], &[2, 3]),
+            bias: Tensor::from_vec(vec![0.5, -0.5], &[2]),
+        });
+        let out = fc.forward(&Tensor::from_vec(vec![1.0, 1.0, 2.0], &[3]));
+        assert_eq!(out.data(), &[1.0 + 2.0 + 6.0 + 0.5, -1.0 + 2.0 - 0.5]);
+    }
+
+    #[test]
+    fn flattens_multidim_input() {
+        let mut fc = Dense::new("fc", 8, 4, &mut rng());
+        let out = fc.forward(&Tensor::zeros(&[2, 2, 2]));
+        assert_eq!(out.shape(), &[4]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut fc = Dense::new("fc", 4, 3, &mut rng());
+        let input = Tensor::from_vec(vec![0.3, -0.8, 0.1, 0.9], &[4]);
+        let out = fc.forward(&input);
+        let grad_in = fc.backward(&out); // L = sum(out²)/2
+
+        let eps = 1e-3f32;
+        let loss = |f: &mut Dense, inp: &Tensor| -> f32 {
+            let o = f.forward(inp);
+            o.data().iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+        for idx in 0..4 {
+            let mut ip = input.clone();
+            ip.data_mut()[idx] += eps;
+            let mut im = input.clone();
+            im.data_mut()[idx] -= eps;
+            let num = (loss(&mut fc.clone(), &ip) - loss(&mut fc.clone(), &im)) / (2.0 * eps);
+            assert!(
+                (num - grad_in.data()[idx]).abs() < 1e-2,
+                "input grad {idx}: {num} vs {}",
+                grad_in.data()[idx]
+            );
+        }
+        for idx in [0usize, 5, 11] {
+            let mut fp = fc.clone();
+            let mut pp = fp.params().unwrap();
+            pp.weights.data_mut()[idx] += eps;
+            fp.set_params(pp);
+            let mut fm = fc.clone();
+            let mut pm = fm.params().unwrap();
+            pm.weights.data_mut()[idx] -= eps;
+            fm.set_params(pm);
+            let num = (loss(&mut fp, &input) - loss(&mut fm, &input)) / (2.0 * eps);
+            assert!(
+                (num - fc.grad_w.data()[idx]).abs() < 1e-2,
+                "weight grad {idx}: {num} vs {}",
+                fc.grad_w.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let fc = Dense::new("fc", 1024, 120, &mut rng());
+        assert_eq!(fc.param_count(), 1024 * 120 + 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_input_size_panics() {
+        let mut fc = Dense::new("fc", 4, 2, &mut rng());
+        fc.forward(&Tensor::zeros(&[5]));
+    }
+}

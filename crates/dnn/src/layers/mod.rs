@@ -1,0 +1,137 @@
+//! Neural-network layers with forward and backward passes.
+//!
+//! Training runs in `f32`; deployment quantises trained parameters through
+//! [`crate::quant`]. Layers cache whatever the backward pass needs, so the
+//! calling pattern is strictly `forward` → `backward` per sample, with
+//! gradient accumulation across a mini-batch and an explicit
+//! [`Layer::apply_gradients`] at batch end.
+
+mod activation;
+mod conv;
+mod dense;
+mod pool;
+
+pub use activation::Tanh;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use pool::MaxPool2d;
+
+use crate::tensor::Tensor;
+
+/// Structural description of a layer, used by the accelerator crate to
+/// build per-layer execution schedules and by reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// 2-D convolution: `out_channels` kernels of `in_channels × k × k`.
+    Conv { in_channels: usize, out_channels: usize, kernel: usize },
+    /// 2×2 max pooling.
+    MaxPool { window: usize },
+    /// Fully connected: `outputs × inputs` weight matrix.
+    Dense { inputs: usize, outputs: usize },
+    /// Elementwise hyperbolic tangent.
+    Tanh,
+}
+
+/// Extracted learned parameters of a layer (cloned on request).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerParams {
+    /// Weight tensor (conv: `[out, in, k, k]`; dense: `[out, in]`).
+    pub weights: Tensor,
+    /// Bias vector `[out]`.
+    pub bias: Tensor,
+}
+
+/// A trainable or fixed network layer.
+pub trait Layer {
+    /// Human-readable layer name (unique within a network by convention).
+    fn name(&self) -> &str;
+
+    /// Structural description.
+    fn kind(&self) -> LayerKind;
+
+    /// Forward pass for one sample; caches state for `backward`.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backward pass: consumes `∂L/∂output`, accumulates parameter
+    /// gradients, returns `∂L/∂input`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Applies accumulated gradients with SGD + momentum and clears them.
+    /// `lr` is already divided by the batch size by the caller.
+    fn apply_gradients(&mut self, _lr: f32, _momentum: f32) {}
+
+    /// Clears accumulated gradients without applying them.
+    fn zero_gradients(&mut self) {}
+
+    /// Number of learned parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Clones out the learned parameters, if any.
+    fn params(&self) -> Option<LayerParams> {
+        None
+    }
+
+    /// Overwrites the learned parameters (used by tests and model I/O).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on shape mismatch; the default panics if the
+    /// layer has no parameters.
+    fn set_params(&mut self, _params: LayerParams) {
+        panic!("layer {} has no parameters", self.name());
+    }
+}
+
+/// Shared SGD-with-momentum update used by the parameterised layers.
+pub(crate) fn sgd_update(
+    param: &mut Tensor,
+    grad: &mut Tensor,
+    velocity: &mut Tensor,
+    lr: f32,
+    momentum: f32,
+) {
+    for ((p, g), v) in param
+        .data_mut()
+        .iter_mut()
+        .zip(grad.data_mut().iter_mut())
+        .zip(velocity.data_mut().iter_mut())
+    {
+        *v = momentum * *v - lr * *g;
+        *p += *v;
+        *g = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_update_applies_and_clears() {
+        let mut p = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let mut g = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let mut v = Tensor::zeros(&[2]);
+        sgd_update(&mut p, &mut g, &mut v, 0.1, 0.0);
+        assert_eq!(p.data(), &[0.95, 2.05]);
+        assert_eq!(g.data(), &[0.0, 0.0], "gradients cleared");
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut p = Tensor::from_vec(vec![0.0], &[1]);
+        let mut v = Tensor::zeros(&[1]);
+        for _ in 0..3 {
+            let mut g = Tensor::from_vec(vec![1.0], &[1]);
+            sgd_update(&mut p, &mut g, &mut v, 0.1, 0.9);
+        }
+        // v: -0.1, -0.19, -0.271; p: -0.1 -0.29 -0.561
+        assert!((p.data()[0] + 0.561).abs() < 1e-6, "p = {}", p.data()[0]);
+    }
+}

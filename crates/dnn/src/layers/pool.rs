@@ -1,0 +1,164 @@
+//! Max pooling.
+
+use crate::layers::{Layer, LayerKind};
+use crate::tensor::Tensor;
+
+/// Non-overlapping max pooling with a square window.
+///
+/// Input `[C, H, W]` with `H`, `W` divisible by the window size; output
+/// `[C, H/w, W/w]`.
+///
+/// # Example
+///
+/// ```
+/// use dnn::layers::{Layer, MaxPool2d};
+/// use dnn::tensor::Tensor;
+///
+/// let mut pool = MaxPool2d::new("pool1", 2);
+/// let out = pool.forward(&Tensor::from_vec(
+///     vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2],
+/// ));
+/// assert_eq!(out.data(), &[4.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    name: String,
+    window: usize,
+    /// Flat input index of each output's winning element.
+    argmax: Vec<usize>,
+    input_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with the given square window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(name: &str, window: usize) -> Self {
+        assert!(window > 0, "pooling window must be positive");
+        MaxPool2d { name: name.to_string(), window, argmax: Vec::new(), input_shape: Vec::new() }
+    }
+
+    /// Window side length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::MaxPool { window: self.window }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let k = self.window;
+        assert!(h % k == 0 && w % k == 0, "input {h}x{w} not divisible by window {k}");
+        let (oh, ow) = (h / k, w / k);
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        self.argmax.clear();
+        self.argmax.reserve(c * oh * ow);
+        let data = input.data();
+        let out_data = out.data_mut();
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let idx = (ch * h + oy * k + ky) * w + ox * k + kx;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out_data[(ch * oh + oy) * ow + ox] = best;
+                    self.argmax.push(best_idx);
+                }
+            }
+        }
+        self.input_shape = input.shape().to_vec();
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(!self.argmax.is_empty(), "backward before forward");
+        assert_eq!(grad_out.len(), self.argmax.len(), "gradient shape mismatch");
+        let mut grad_in = Tensor::zeros(&self.input_shape);
+        let gi = grad_in.data_mut();
+        for (&src, &g) in self.argmax.iter().zip(grad_out.data()) {
+            gi[src] += g;
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_maxima_per_window() {
+        let mut pool = MaxPool2d::new("p", 2);
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 5.0, 2.0, 0.0, //
+                3.0, 4.0, 1.0, 8.0, //
+                0.0, 0.0, 6.0, 1.0, //
+                9.0, 0.0, 2.0, 3.0,
+            ],
+            &[1, 4, 4],
+        );
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[5.0, 8.0, 9.0, 6.0]);
+    }
+
+    #[test]
+    fn multichannel_pooling_is_independent() {
+        let mut pool = MaxPool2d::new("p", 2);
+        let mut data = vec![0.0; 2 * 2 * 2];
+        data[0] = 1.0; // channel 0
+        data[7] = 2.0; // channel 1
+        let out = pool.forward(&Tensor::from_vec(data, &[2, 2, 2]));
+        assert_eq!(out.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new("p", 2);
+        let input = Tensor::from_vec(vec![1.0, 5.0, 3.0, 4.0], &[1, 2, 2]);
+        pool.forward(&input);
+        let grad_in = pool.backward(&Tensor::from_vec(vec![2.0], &[1, 1, 1]));
+        assert_eq!(grad_in.data(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn negative_inputs_still_pool() {
+        let mut pool = MaxPool2d::new("p", 2);
+        let input = Tensor::from_vec(vec![-4.0, -2.0, -3.0, -1.0], &[1, 2, 2]);
+        let out = pool.forward(&input);
+        assert_eq!(out.data(), &[-1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_input_panics() {
+        let mut pool = MaxPool2d::new("p", 2);
+        pool.forward(&Tensor::zeros(&[1, 3, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut pool = MaxPool2d::new("p", 2);
+        pool.backward(&Tensor::zeros(&[1, 1, 1]));
+    }
+}

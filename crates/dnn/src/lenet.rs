@@ -1,0 +1,101 @@
+//! The paper's victim network: LeNet-5 (Fig. 5a variant).
+//!
+//! Architecture as in the paper: two convolutional layers for feature
+//! extraction (`Conv1`, `Conv2`), one pooling layer (`Pool1`) between them,
+//! and two fully connected layers (`FC1`, `FC2`); `tanh` activations
+//! throughout; 10-way softmax at the output.
+//!
+//! Shapes for a 28×28 input:
+//!
+//! ```text
+//! input  [1, 28, 28]
+//! Conv1  6 × 5×5   -> [6, 24, 24]   (+ tanh)
+//! Pool1  2×2        -> [6, 12, 12]
+//! Conv2  16 × 5×5   -> [16, 8, 8]   (+ tanh)
+//! FC1    1024 → 120                 (+ tanh)
+//! FC2    120 → 10                   (logits)
+//! ```
+
+use rand::Rng;
+
+use crate::layers::{Conv2d, Dense, MaxPool2d, Tanh};
+use crate::network::Sequential;
+
+/// Canonical names of the five parameterised/pooling stages, in execution
+/// order. These are the names the attack literature (and our profiler)
+/// refers to.
+pub const STAGE_NAMES: [&str; 5] = ["conv1", "pool1", "conv2", "fc1", "fc2"];
+
+/// Builds the LeNet-5 victim with freshly initialised weights.
+///
+/// # Example
+///
+/// ```
+/// use dnn::lenet::lenet5;
+/// use dnn::tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut net = lenet5(&mut rand::rngs::StdRng::seed_from_u64(0));
+/// let logits = net.forward(&Tensor::zeros(&[1, 28, 28]));
+/// assert_eq!(logits.shape(), &[10]);
+/// ```
+pub fn lenet5(rng: &mut impl Rng) -> Sequential {
+    let mut net = Sequential::new("lenet5");
+    net.push(Box::new(Conv2d::new("conv1", 1, 6, 5, rng)));
+    net.push(Box::new(Tanh::new("conv1_tanh")));
+    net.push(Box::new(MaxPool2d::new("pool1", 2)));
+    net.push(Box::new(Conv2d::new("conv2", 6, 16, 5, rng)));
+    net.push(Box::new(Tanh::new("conv2_tanh")));
+    net.push(Box::new(Dense::new("fc1", 16 * 8 * 8, 120, rng)));
+    net.push(Box::new(Tanh::new("fc1_tanh")));
+    net.push(Box::new(Dense::new("fc2", 120, 10, rng)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::LayerKind;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn structure_matches_paper() {
+        let net = lenet5(&mut StdRng::seed_from_u64(0));
+        let kinds = net.kinds();
+        assert!(matches!(
+            kinds[0],
+            LayerKind::Conv { in_channels: 1, out_channels: 6, kernel: 5 }
+        ));
+        assert!(matches!(kinds[2], LayerKind::MaxPool { window: 2 }));
+        assert!(matches!(
+            kinds[3],
+            LayerKind::Conv { in_channels: 6, out_channels: 16, kernel: 5 }
+        ));
+        assert!(matches!(kinds[5], LayerKind::Dense { inputs: 1024, outputs: 120 }));
+        assert!(matches!(kinds[7], LayerKind::Dense { inputs: 120, outputs: 10 }));
+    }
+
+    #[test]
+    fn forward_shape_chain() {
+        let mut net = lenet5(&mut StdRng::seed_from_u64(0));
+        let logits = net.forward(&Tensor::zeros(&[1, 28, 28]));
+        assert_eq!(logits.shape(), &[10]);
+    }
+
+    #[test]
+    fn parameter_count_is_lenet_sized() {
+        let net = lenet5(&mut StdRng::seed_from_u64(0));
+        let expected = (6 * 25 + 6) + (16 * 6 * 25 + 16) + (1024 * 120 + 120) + (120 * 10 + 10);
+        assert_eq!(net.param_count(), expected);
+    }
+
+    #[test]
+    fn fresh_networks_differ_by_seed() {
+        let mut a = lenet5(&mut StdRng::seed_from_u64(1));
+        let mut b = lenet5(&mut StdRng::seed_from_u64(2));
+        let x = Tensor::full(&[1, 28, 28], 0.5);
+        assert_ne!(a.forward(&x).data(), b.forward(&x).data());
+    }
+}

@@ -1,0 +1,150 @@
+//! Classification metrics.
+
+/// A square confusion matrix over integer class labels.
+///
+/// # Example
+///
+/// ```
+/// use dnn::metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(3);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(2, 2);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(cm.count(0, 1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "at least one class required");
+        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(true, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.classes && predicted < self.classes, "label out of range");
+        self.counts[truth * self.classes + predicted] += 1;
+    }
+
+    /// Observations with true class `truth` predicted as `predicted`.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (`None` for classes never observed).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            return None;
+        }
+        Some(self.count(class, class) as f64 / row as f64)
+    }
+
+    /// The most confused off-diagonal pair `(truth, predicted, count)`.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                if t == p {
+                    continue;
+                }
+                let c = self.count(t, p);
+                if c > 0 && best.map_or(true, |(_, _, bc)| c > bc) {
+                    best = Some((t, p, c));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "confusion matrix ({} classes, acc {:.2}%)", self.classes, self.accuracy() * 100.0)?;
+        for t in 0..self.classes {
+            write!(f, "  {t}: ")?;
+            for p in 0..self.classes {
+                write!(f, "{:5}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_metrics() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.recall(0), None);
+        assert_eq!(cm.worst_confusion(), None);
+    }
+
+    #[test]
+    fn recall_and_confusion() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(1, 1);
+        cm.record(1, 1);
+        cm.record(1, 2);
+        cm.record(0, 2);
+        cm.record(0, 2);
+        cm.record(0, 2);
+        assert!((cm.recall(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.worst_confusion(), Some((0, 2, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        let s = cm.to_string();
+        assert!(s.contains("acc 100.00%"));
+    }
+}

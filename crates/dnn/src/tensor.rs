@@ -1,0 +1,284 @@
+//! A small dense tensor for training and inference.
+//!
+//! Row-major `f32` storage with explicit shape. This is intentionally a
+//! minimal numeric core — the layers in this crate only need construction,
+//! element access, map/zip and a handful of reductions. Shapes follow the
+//! `[channels, height, width]` convention for feature maps and `[n]` for
+//! vectors.
+
+use std::fmt;
+
+/// Dense row-major `f32` tensor.
+///
+/// # Example
+///
+/// ```
+/// use dnn::tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// assert_eq!(t.get(&[1, 0]), 3.0);
+/// assert_eq!(t.sum(), 10.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}(", self.shape)?;
+        let head: Vec<String> = self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        write!(f, "{}", head.join(", "))?;
+        if self.data.len() > 8 {
+            write!(f, ", …")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Tensor {
+    /// Zero-filled tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty shape or zero-sized dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be positive");
+        let len = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; len] }
+    }
+
+    /// Tensor filled with a constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate shape (see [`Tensor::zeros`]).
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let mut t = Tensor::zeros(shape);
+        t.data.iter_mut().for_each(|v| *v = value);
+        t
+    }
+
+    /// Builds a tensor from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape volume.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let len: usize = shape.iter().product();
+        assert_eq!(data.len(), len, "data length {} != shape volume {len}", data.len());
+        assert!(!shape.is_empty() && shape.iter().all(|&d| d > 0));
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (cannot happen for valid shapes).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat immutable view of the data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0usize;
+        for (i, (&idx, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(idx < dim, "index {idx} out of bounds for dim {i} (size {dim})");
+            off = off * dim + idx;
+        }
+        off
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds index.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds index.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volumes differ.
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(self.data.clone(), shape)
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Element-wise combination of two equally shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// In-place scaled add: `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Largest element and its flat index (`None` when empty).
+    pub fn argmax(&self) -> Option<(usize, f32)> {
+        self.data
+            .iter()
+            .enumerate()
+            .fold(None, |best, (i, &v)| match best {
+                Some((_, bv)) if bv >= v => best,
+                _ => Some((i, v)),
+            })
+    }
+
+    /// Dot product of two equally shaped tensors viewed flat.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "dot shape mismatch");
+        self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum()
+    }
+
+    /// L2 norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        t.set(&[1, 2, 3], 7.5);
+        assert_eq!(t.get(&[1, 2, 3]), 7.5);
+        assert_eq!(t.data()[23], 7.5, "row-major last element");
+        t.set(&[0, 0, 0], -1.0);
+        assert_eq!(t.data()[0], -1.0);
+    }
+
+    #[test]
+    fn row_major_layout() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        assert_eq!(t.get(&[0, 2]), 2.0);
+        assert_eq!(t.get(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        t.get(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn rank_mismatch_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        t.get(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_checks_volume() {
+        Tensor::from_vec(vec![1.0; 3], &[2, 2]);
+    }
+
+    #[test]
+    fn map_zip_axpy() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        assert_eq!(a.map(|v| v * 2.0).data(), &[2.0, 4.0]);
+        assert_eq!(a.zip(&b, |x, y| y - x).data(), &[9.0, 18.0]);
+        let mut c = a.clone();
+        c.axpy(0.5, &b);
+        assert_eq!(c.data(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![3.0, -1.0, 5.0, 0.0], &[4]);
+        assert_eq!(t.sum(), 7.0);
+        assert_eq!(t.argmax(), Some((2, 5.0)));
+        assert_eq!(t.dot(&t), 9.0 + 1.0 + 25.0);
+        assert!((t.norm() - 35.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_ties() {
+        let t = Tensor::from_vec(vec![2.0, 2.0, 1.0], &[3]);
+        assert_eq!(t.argmax().unwrap().0, 0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]);
+        let r = t.reshaped(&[2, 6]);
+        assert_eq!(r.shape(), &[2, 6]);
+        assert_eq!(r.get(&[1, 0]), 6.0);
+    }
+
+    #[test]
+    fn debug_is_truncated() {
+        let t = Tensor::zeros(&[100]);
+        let s = format!("{t:?}");
+        assert!(s.contains("…"));
+        assert!(s.len() < 200);
+    }
+}

@@ -1,0 +1,170 @@
+//! Training loop and evaluation.
+
+use rand::Rng;
+
+use crate::digits::Dataset;
+use crate::network::{Sequential, SgdConfig};
+use crate::tensor::Tensor;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimiser settings.
+    pub sgd: SgdConfig,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 6, batch_size: 16, sgd: SgdConfig { lr: 0.08, momentum: 0.9 } }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss.
+    pub mean_loss: f32,
+    /// Accuracy on the held-out set, if one was provided.
+    pub eval_accuracy: Option<f64>,
+}
+
+/// Trains `net` on `train`, optionally evaluating on `eval` each epoch.
+///
+/// Returns per-epoch statistics. Deterministic given the RNG seed.
+///
+/// # Example
+///
+/// ```no_run
+/// use dnn::digits::{Dataset, RenderParams};
+/// use dnn::lenet::lenet5;
+/// use dnn::train::{train, TrainConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut ds = Dataset::generate(2200, &RenderParams::default(), &mut rng);
+/// let test = ds.split_off(200);
+/// let mut net = lenet5(&mut rng);
+/// let stats = train(&mut net, &ds, Some(&test), &TrainConfig::default(), &mut rng);
+/// assert!(stats.last().unwrap().eval_accuracy.unwrap() > 0.9);
+/// ```
+pub fn train(
+    net: &mut Sequential,
+    train: &Dataset,
+    eval: Option<&Dataset>,
+    config: &TrainConfig,
+    rng: &mut impl Rng,
+) -> Vec<EpochStats> {
+    let mut history = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        let order = train.shuffled_indices(rng);
+        let mut total_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let batch: Vec<(&Tensor, usize)> = chunk.iter().map(|&i| train.sample(i)).collect();
+            total_loss += net.train_batch(&batch, &config.sgd);
+            batches += 1;
+        }
+        let eval_accuracy = eval.map(|ds| evaluate(net, ds));
+        history.push(EpochStats {
+            epoch,
+            mean_loss: if batches > 0 { total_loss / batches as f32 } else { 0.0 },
+            eval_accuracy,
+        });
+    }
+    history
+}
+
+/// Classification accuracy of the float network on a dataset.
+pub fn evaluate(net: &mut Sequential, ds: &Dataset) -> f64 {
+    if ds.is_empty() {
+        return 0.0;
+    }
+    let correct = ds.iter().filter(|(x, y)| net.predict(x) == *y).count();
+    correct as f64 / ds.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digits::RenderParams;
+    use crate::layers::{Dense, Tanh};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A small MLP trains much faster than LeNet in debug builds; the
+    /// LeNet end-to-end training run lives in the integration tests and
+    /// benches, which build with optimisation.
+    fn small_mlp(rng: &mut StdRng) -> Sequential {
+        let mut net = Sequential::new("mlp");
+        net.push(Box::new(Dense::new("fc1", 28 * 28, 32, rng)));
+        net.push(Box::new(Tanh::new("t1")));
+        net.push(Box::new(Dense::new("fc2", 32, 10, rng)));
+        net
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut ds = Dataset::generate(220, &RenderParams::default(), &mut rng);
+        let test = ds.split_off(40);
+        let mut net = small_mlp(&mut rng);
+        let config = TrainConfig {
+            epochs: 8,
+            batch_size: 8,
+            sgd: SgdConfig { lr: 0.1, momentum: 0.9 },
+        };
+        let history = train(&mut net, &ds, Some(&test), &config, &mut rng);
+        assert_eq!(history.len(), 8);
+        let first = history.first().unwrap().mean_loss;
+        let last = history.last().unwrap().mean_loss;
+        assert!(last < first * 0.6, "loss {first} -> {last} did not drop");
+        let acc = history.last().unwrap().eval_accuracy.unwrap();
+        assert!(acc > 0.6, "eval accuracy {acc}");
+    }
+
+    #[test]
+    fn evaluate_empty_dataset_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = small_mlp(&mut rng);
+        let mut ds = Dataset::generate(5, &RenderParams::default(), &mut rng);
+        let empty = ds.split_off(0);
+        assert_eq!(evaluate(&mut net, &empty), 0.0);
+    }
+
+    /// Full LeNet-5 training to paper-like accuracy. Ignored by default
+    /// because it needs an optimised build; run with
+    /// `cargo test -p dnn --release -- --ignored lenet_reaches`.
+    #[test]
+    #[ignore = "slow: run in release"]
+    fn lenet_reaches_mid_90s_accuracy() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut ds = Dataset::generate(3000, &RenderParams::default(), &mut rng);
+        let test = ds.split_off(500);
+        let mut net = crate::lenet::lenet5(&mut rng);
+        let history = train(&mut net, &ds, Some(&test), &TrainConfig::default(), &mut rng);
+        let acc = history.last().unwrap().eval_accuracy.unwrap();
+        assert!(acc > 0.93, "LeNet accuracy {acc} below the paper regime");
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<f32> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ds = Dataset::generate(60, &RenderParams::default(), &mut rng);
+            let mut net = small_mlp(&mut rng);
+            let config = TrainConfig { epochs: 2, batch_size: 8, sgd: SgdConfig::default() };
+            train(&mut net, &ds, None, &config, &mut rng)
+                .iter()
+                .map(|e| e.mean_loss)
+                .collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,89 @@
+//! Additional victim architectures (paper §V future work: "more DNN
+//! architectures").
+//!
+//! Everything here quantises through [`crate::quant`] and runs on the
+//! `accel` simulator unchanged, so the attack benches can sweep
+//! architectures.
+
+use rand::Rng;
+
+use crate::digits::IMAGE_SIDE;
+use crate::layers::{Conv2d, Dense, MaxPool2d, Tanh};
+use crate::network::Sequential;
+
+/// A two-hidden-layer MLP (no convolutions): the "all-DSP dense" victim.
+///
+/// `784 → 64 → 32 → 10`, tanh activations.
+pub fn mlp(rng: &mut impl Rng) -> Sequential {
+    let mut net = Sequential::new("mlp");
+    net.push(Box::new(Dense::new("fc1", IMAGE_SIDE * IMAGE_SIDE, 64, rng)));
+    net.push(Box::new(Tanh::new("fc1_tanh")));
+    net.push(Box::new(Dense::new("fc2", 64, 32, rng)));
+    net.push(Box::new(Tanh::new("fc2_tanh")));
+    net.push(Box::new(Dense::new("fc3", 32, 10, rng)));
+    net
+}
+
+/// A deeper convolutional victim than LeNet-5: three conv stages with two
+/// pooling layers.
+///
+/// ```text
+/// input [1, 28, 28]
+/// conv1 8  × 3×3  -> [8, 26, 26]  (+ tanh)
+/// pool1 2×2       -> [8, 13, 13]
+/// conv2 16 × 4×4  -> [16, 10, 10] (+ tanh)
+/// pool2 2×2       -> [16, 5, 5]
+/// conv3 32 × 2×2  -> [32, 4, 4]   (+ tanh)
+/// fc1   512 → 64                  (+ tanh)
+/// fc2   64 → 10
+/// ```
+pub fn deep_cnn(rng: &mut impl Rng) -> Sequential {
+    let mut net = Sequential::new("deep_cnn");
+    net.push(Box::new(Conv2d::new("conv1", 1, 8, 3, rng)));
+    net.push(Box::new(Tanh::new("conv1_tanh")));
+    net.push(Box::new(MaxPool2d::new("pool1", 2)));
+    net.push(Box::new(Conv2d::new("conv2", 8, 16, 4, rng)));
+    net.push(Box::new(Tanh::new("conv2_tanh")));
+    net.push(Box::new(MaxPool2d::new("pool2", 2)));
+    net.push(Box::new(Conv2d::new("conv3", 16, 32, 2, rng)));
+    net.push(Box::new(Tanh::new("conv3_tanh")));
+    net.push(Box::new(Dense::new("fc1", 32 * 4 * 4, 64, rng)));
+    net.push(Box::new(Tanh::new("fc1_tanh")));
+    net.push(Box::new(Dense::new("fc2", 64, 10, rng)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::QFormat;
+    use crate::quant::QuantizedNetwork;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_shapes() {
+        let mut net = mlp(&mut StdRng::seed_from_u64(0));
+        let out = net.forward(&Tensor::zeros(&[1, 28, 28]));
+        assert_eq!(out.shape(), &[10]);
+    }
+
+    #[test]
+    fn deep_cnn_shapes() {
+        let mut net = deep_cnn(&mut StdRng::seed_from_u64(0));
+        let out = net.forward(&Tensor::zeros(&[1, 28, 28]));
+        assert_eq!(out.shape(), &[10]);
+    }
+
+    #[test]
+    fn zoo_networks_quantise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for net in [mlp(&mut rng), deep_cnn(&mut rng)] {
+            let q =
+                QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper()).unwrap();
+            let logits = q.infer_logits(&Tensor::full(&[1, 28, 28], 0.4));
+            assert_eq!(logits.len(), 10);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the DNN substrate.
+
+use dnn::fixed::QFormat;
+use dnn::layers::{Conv2d, Dense, Layer, LayerParams, MaxPool2d, Tanh};
+use dnn::network::softmax;
+use dnn::quant::QuantizedNetwork;
+use dnn::tensor::Tensor;
+use dnn::zoo::mlp;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2.0f32..2.0, len)
+}
+
+proptest! {
+    /// Convolution is linear: conv(a·x) = a·conv(x) when bias is zero.
+    #[test]
+    fn conv_is_homogeneous(data in tensor_strategy(36), scale in 0.25f32..4.0) {
+        let mut conv = Conv2d::new("c", 1, 2, 3, &mut StdRng::seed_from_u64(1));
+        let mut p = conv.params().unwrap();
+        p.bias = Tensor::zeros(&[2]);
+        conv.set_params(p);
+        let x = Tensor::from_vec(data, &[1, 6, 6]);
+        let y1 = conv.forward(&x).map(|v| v * scale);
+        let y2 = conv.forward(&x.map(|v| v * scale));
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    /// Max pooling of a constant map is that constant.
+    #[test]
+    fn pool_of_constant_is_constant(v in -5.0f32..5.0) {
+        let mut pool = MaxPool2d::new("p", 2);
+        let out = pool.forward(&Tensor::full(&[3, 4, 4], v));
+        prop_assert!(out.data().iter().all(|&o| o == v));
+    }
+
+    /// Pooling commutes with monotone rescaling by a positive factor.
+    #[test]
+    fn pool_commutes_with_positive_scale(data in tensor_strategy(16), k in 0.1f32..3.0) {
+        let mut pool = MaxPool2d::new("p", 2);
+        let x = Tensor::from_vec(data, &[1, 4, 4]);
+        let a = pool.forward(&x.map(|v| v * k));
+        let b = pool.forward(&x).map(|v| v * k);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax is invariant to constant shifts and sums to one.
+    #[test]
+    fn softmax_shift_invariance(data in tensor_strategy(10), shift in -50.0f32..50.0) {
+        let x = Tensor::from_vec(data, &[10]);
+        let p1 = softmax(&x);
+        let p2 = softmax(&x.map(|v| v + shift));
+        prop_assert!((p1.sum() - 1.0).abs() < 1e-5);
+        for (a, b) in p1.data().iter().zip(p2.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Dense layers respect superposition: f(x+y) - f(0) = (f(x)-f(0)) + (f(y)-f(0)).
+    #[test]
+    fn dense_superposition(xa in tensor_strategy(8), xb in tensor_strategy(8)) {
+        let mut fc = Dense::new("d", 8, 4, &mut StdRng::seed_from_u64(2));
+        let zero = fc.forward(&Tensor::zeros(&[8]));
+        let a = Tensor::from_vec(xa, &[8]);
+        let b = Tensor::from_vec(xb, &[8]);
+        let sum = fc.forward(&a.zip(&b, |x, y| x + y));
+        let fa = fc.forward(&a);
+        let fb = fc.forward(&b);
+        for i in 0..4 {
+            let lhs = sum.data()[i] - zero.data()[i];
+            let rhs = (fa.data()[i] - zero.data()[i]) + (fb.data()[i] - zero.data()[i]);
+            prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+        }
+    }
+
+    /// Quantisation preserves order (monotone non-decreasing).
+    #[test]
+    fn quantisation_preserves_order(a in -4.5f32..4.5, b in -4.5f32..4.5) {
+        let q = QFormat::paper();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo).to_f32() <= q.quantize(hi).to_f32());
+    }
+
+    /// tanh keeps every activation strictly inside the fixed-point range.
+    #[test]
+    fn tanh_output_always_quantisable(data in tensor_strategy(32)) {
+        let mut act = Tanh::new("t");
+        let q = QFormat::paper();
+        let out = act.forward(&Tensor::from_vec(data, &[32]));
+        for &v in out.data() {
+            let rt = q.quantize(v).to_f32();
+            prop_assert!((rt - v).abs() <= q.resolution() / 2.0 + 1e-6);
+        }
+    }
+
+    /// Model byte-codec round-trips after arbitrary re-serialisation.
+    #[test]
+    fn model_codec_round_trips(seed in 0u64..500) {
+        let net = mlp(&mut StdRng::seed_from_u64(seed));
+        let q = QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper()).unwrap();
+        let rt = QuantizedNetwork::from_bytes(&q.to_bytes()).unwrap();
+        prop_assert_eq!(&q, &rt);
+        prop_assert_eq!(rt.to_bytes(), q.to_bytes());
+    }
+
+    /// Setting then getting layer parameters round-trips exactly.
+    #[test]
+    fn layer_params_round_trip(weights in tensor_strategy(8 * 4), bias in tensor_strategy(4)) {
+        let mut fc = Dense::new("d", 8, 4, &mut StdRng::seed_from_u64(3));
+        let params = LayerParams {
+            weights: Tensor::from_vec(weights, &[4, 8]),
+            bias: Tensor::from_vec(bias, &[4]),
+        };
+        fc.set_params(params.clone());
+        prop_assert_eq!(fc.params().unwrap(), params);
+    }
+}

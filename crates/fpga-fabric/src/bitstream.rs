@@ -1,0 +1,196 @@
+//! Hypervisor view: combining tenant designs into one deployable image.
+//!
+//! In the paper's threat model "the hypervisor in the virtualized cloud-FPGA
+//! will compile and combine applications of all the tenants …, generate an
+//! unified bitstream and deploy it on one FPGA device" (§IV). Tenants do not
+//! share I/O, BRAM or clocks — only the PDN. This module performs that
+//! combination step with the provider-side checks: per-tenant DRC, region
+//! assignment and whole-device capacity.
+
+use crate::device::Device;
+use crate::drc::{self, DrcReport};
+use crate::error::{FabricError, Result};
+use crate::floorplan::{Floorplan, Region};
+use crate::netlist::{Netlist, ResourceUsage};
+
+/// One tenant's deployment request: a netlist and a desired region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantDesign {
+    /// Tenant name (unique within a deployment).
+    pub name: String,
+    /// The tenant's netlist.
+    pub netlist: Netlist,
+    /// Region the tenant is assigned on the device grid.
+    pub region: Region,
+}
+
+impl TenantDesign {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, netlist: Netlist, region: Region) -> Self {
+        TenantDesign { name: name.into(), netlist, region }
+    }
+}
+
+/// The result of a successful combine: one merged netlist plus floorplan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bitstream {
+    /// Device the image targets.
+    device_name: String,
+    /// Merged netlist with tenant-prefixed instance names.
+    merged: Netlist,
+    /// Floorplan with one slot per tenant.
+    floorplan: Floorplan,
+    /// Per-tenant DRC reports (all deployable).
+    reports: Vec<(String, DrcReport)>,
+}
+
+impl Bitstream {
+    /// The merged netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.merged
+    }
+
+    /// The tenant floorplan.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// Target device name.
+    pub fn device_name(&self) -> &str {
+        &self.device_name
+    }
+
+    /// Per-tenant DRC reports recorded during combination.
+    pub fn drc_reports(&self) -> &[(String, DrcReport)] {
+        &self.reports
+    }
+
+    /// Total resource usage across tenants.
+    pub fn total_usage(&self) -> ResourceUsage {
+        self.merged.resource_usage()
+    }
+}
+
+/// Combines tenant designs into one image, running provider-side checks.
+///
+/// # Errors
+///
+/// * [`FabricError::DrcRejected`] if any tenant fails DRC (e.g. contains a
+///   ring oscillator);
+/// * [`FabricError::RegionOverlap`] / [`FabricError::PlacementOverflow`] if
+///   the floorplan cannot host the request;
+/// * [`FabricError::PlacementOverflow`] if the union exceeds the device.
+///
+/// # Example
+///
+/// ```
+/// use fpga_fabric::bitstream::{combine, TenantDesign};
+/// use fpga_fabric::device::Device;
+/// use fpga_fabric::floorplan::Region;
+/// use fpga_fabric::netlist::Netlist;
+///
+/// let device = Device::testbench_mini();
+/// let mut victim = Netlist::new("victim");
+/// victim.add_lut1_inverter("logic");
+/// let tenants = vec![TenantDesign::new("victim", victim, Region::new(0, 0, 10, 19))];
+/// let image = combine(&device, tenants)?;
+/// assert_eq!(image.floorplan().slots().len(), 1);
+/// # Ok::<(), fpga_fabric::FabricError>(())
+/// ```
+pub fn combine(device: &Device, tenants: Vec<TenantDesign>) -> Result<Bitstream> {
+    combine_with(device, tenants, drc::DrcPolicy::standard())
+}
+
+/// [`combine`] under an explicit screening policy (e.g.
+/// [`drc::DrcPolicy::strict`] for providers that also scan latch loops).
+///
+/// # Errors
+///
+/// As [`combine`].
+pub fn combine_with(
+    device: &Device,
+    tenants: Vec<TenantDesign>,
+    policy: drc::DrcPolicy,
+) -> Result<Bitstream> {
+    let mut merged = Netlist::new(format!("{}_image", device.name()));
+    let mut floorplan = Floorplan::new(device.grid().clone());
+    let mut reports = Vec::new();
+
+    for t in &tenants {
+        let report = drc::check_with(&t.netlist, policy);
+        if !report.is_deployable() {
+            return Err(FabricError::DrcRejected { errors: report.error_count() });
+        }
+        floorplan.place(t.name.clone(), t.region, t.netlist.resource_usage())?;
+        merged.merge(&t.netlist, &t.name);
+        reports.push((t.name.clone(), report));
+    }
+    device.admit(&merged.resource_usage())?;
+    Ok(Bitstream { device_name: device.name().to_string(), merged, floorplan, reports })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::PrimitiveKind;
+
+    fn benign(name: &str) -> Netlist {
+        let mut n = Netlist::new(name);
+        let lut = n.add_lut1_inverter("l");
+        let ff = n.add_cell("ff", PrimitiveKind::Fdre, None);
+        n.connect(n.output_of(lut), n.input_of(ff, 0)).unwrap();
+        n
+    }
+
+    fn malicious_ro(name: &str) -> Netlist {
+        let mut n = Netlist::new(name);
+        let a = n.add_lut1_inverter("a");
+        let b = n.add_lut1_inverter("b");
+        n.connect(n.output_of(a), n.input_of(b, 0)).unwrap();
+        n.connect(n.output_of(b), n.input_of(a, 0)).unwrap();
+        n
+    }
+
+    #[test]
+    fn combines_two_clean_tenants() {
+        let device = Device::testbench_mini();
+        let image = combine(
+            &device,
+            vec![
+                TenantDesign::new("victim", benign("v"), Region::new(0, 0, 10, 19)),
+                TenantDesign::new("attacker", benign("a"), Region::new(12, 0, 23, 19)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(image.floorplan().slots().len(), 2);
+        assert!(image.netlist().cell_by_name("victim/l").is_some());
+        assert!(image.netlist().cell_by_name("attacker/l").is_some());
+        assert_eq!(image.total_usage().luts, 2);
+        assert_eq!(image.drc_reports().len(), 2);
+    }
+
+    #[test]
+    fn ring_oscillator_tenant_is_rejected() {
+        let device = Device::testbench_mini();
+        let err = combine(
+            &device,
+            vec![TenantDesign::new("mal", malicious_ro("ro"), Region::new(0, 0, 10, 19))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FabricError::DrcRejected { errors } if errors >= 1));
+    }
+
+    #[test]
+    fn overlapping_tenants_rejected() {
+        let device = Device::testbench_mini();
+        let err = combine(
+            &device,
+            vec![
+                TenantDesign::new("a", benign("a"), Region::new(0, 0, 12, 19)),
+                TenantDesign::new("b", benign("b"), Region::new(12, 0, 23, 19)),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FabricError::RegionOverlap { .. }));
+    }
+}

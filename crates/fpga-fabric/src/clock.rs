@@ -1,0 +1,230 @@
+//! Clock management tile (CMT) model.
+//!
+//! The TDC sensor needs two clocks of the *same frequency* with a tunable
+//! phase offset θ between them: one launches an edge into the delay line,
+//! the other samples the carry chain (paper Fig. 1a). This module models a
+//! 7-series MMCM: an integer feedback multiplier `M` and divider `D` lock a
+//! VCO into its legal band, output dividers `O` derive the output clocks,
+//! and phase is shifted in steps of 1/56th of the VCO period (the fine-phase
+//! shift granularity of the real silicon).
+
+use crate::error::{FabricError, Result};
+
+/// MMCM electrical limits (7-series speed grade -1, simplified).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmcmLimits {
+    /// Lowest legal VCO frequency in MHz.
+    pub vco_min_mhz: f64,
+    /// Highest legal VCO frequency in MHz.
+    pub vco_max_mhz: f64,
+    /// Maximum feedback multiplier.
+    pub mult_max: u32,
+    /// Maximum input divider.
+    pub div_max: u32,
+    /// Maximum output divider.
+    pub outdiv_max: u32,
+}
+
+impl Default for MmcmLimits {
+    fn default() -> Self {
+        MmcmLimits { vco_min_mhz: 600.0, vco_max_mhz: 1200.0, mult_max: 64, div_max: 56, outdiv_max: 128 }
+    }
+}
+
+/// A synthesised clock: achieved frequency and phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSpec {
+    /// Achieved frequency in MHz.
+    pub freq_mhz: f64,
+    /// Achieved phase offset in degrees, relative to the MMCM reference.
+    pub phase_deg: f64,
+}
+
+impl ClockSpec {
+    /// Clock period in picoseconds.
+    pub fn period_ps(&self) -> f64 {
+        1.0e6 / self.freq_mhz
+    }
+
+    /// Phase offset expressed as time, in picoseconds.
+    pub fn phase_ps(&self) -> f64 {
+        self.period_ps() * self.phase_deg / 360.0
+    }
+}
+
+/// A locked MMCM: reference input plus synthesis parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mmcm {
+    ref_mhz: f64,
+    limits: MmcmLimits,
+    mult: u32,
+    div: u32,
+}
+
+impl Mmcm {
+    /// Locks an MMCM to a reference clock, choosing `M`/`D` to push the VCO
+    /// as high as the band allows (highest VCO gives the finest phase-shift
+    /// granularity and divides the common 25/50/100/200 MHz clocks evenly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::UnsatisfiableClock`] if no `(M, D)` puts the
+    /// VCO in its legal band.
+    pub fn lock(ref_mhz: f64, limits: MmcmLimits) -> Result<Self> {
+        if !(ref_mhz.is_finite() && ref_mhz > 0.0) {
+            return Err(FabricError::UnsatisfiableClock {
+                requested_mhz: ref_mhz,
+                reason: "reference must be positive".into(),
+            });
+        }
+        let mut best: Option<(u32, u32, f64)> = None;
+        for div in 1..=limits.div_max {
+            for mult in 2..=limits.mult_max {
+                let vco = ref_mhz * f64::from(mult) / f64::from(div);
+                if vco < limits.vco_min_mhz || vco > limits.vco_max_mhz {
+                    continue;
+                }
+                // Prefer the highest VCO; among ties, the smallest divider
+                // (less reference-path jitter in real silicon).
+                let score = limits.vco_max_mhz - vco + f64::from(div) * 1e-6;
+                if best.map_or(true, |(_, _, s)| score < s) {
+                    best = Some((mult, div, score));
+                }
+            }
+        }
+        match best {
+            Some((mult, div, _)) => Ok(Mmcm { ref_mhz, limits, mult, div }),
+            None => Err(FabricError::UnsatisfiableClock {
+                requested_mhz: ref_mhz,
+                reason: "no M/D pair reaches the VCO band".into(),
+            }),
+        }
+    }
+
+    /// Locks with default 7-series limits.
+    ///
+    /// # Errors
+    ///
+    /// See [`Mmcm::lock`].
+    pub fn lock_default(ref_mhz: f64) -> Result<Self> {
+        Mmcm::lock(ref_mhz, MmcmLimits::default())
+    }
+
+    /// VCO frequency in MHz.
+    pub fn vco_mhz(&self) -> f64 {
+        self.ref_mhz * f64::from(self.mult) / f64::from(self.div)
+    }
+
+    /// Synthesises an output clock as close as possible to `freq_mhz` with
+    /// phase offset as close as possible to `phase_deg`.
+    ///
+    /// Frequency granularity is the set `{vco / O}`; phase granularity is
+    /// `360° / (56 · O)` (the fine phase shifter steps 1/56 of a VCO period,
+    /// which is `1/(56·O)` of the output period).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::UnsatisfiableClock`] if the achieved frequency
+    /// misses the request by more than 5%.
+    pub fn derive(&self, freq_mhz: f64, phase_deg: f64) -> Result<ClockSpec> {
+        if !(freq_mhz.is_finite() && freq_mhz > 0.0) {
+            return Err(FabricError::UnsatisfiableClock {
+                requested_mhz: freq_mhz,
+                reason: "requested frequency must be positive".into(),
+            });
+        }
+        let vco = self.vco_mhz();
+        let ideal = vco / freq_mhz;
+        let mut best_o = 1u32;
+        let mut best_err = f64::INFINITY;
+        for o in 1..=self.limits.outdiv_max {
+            let err = (vco / f64::from(o) - freq_mhz).abs();
+            if err < best_err {
+                best_err = err;
+                best_o = o;
+            }
+        }
+        let achieved = vco / f64::from(best_o);
+        if (achieved - freq_mhz).abs() / freq_mhz > 0.05 {
+            return Err(FabricError::UnsatisfiableClock {
+                requested_mhz: freq_mhz,
+                reason: format!(
+                    "closest output divider {best_o} gives {achieved:.3} MHz (ideal divider {ideal:.2})"
+                ),
+            });
+        }
+        // Quantise the phase to the shifter granularity.
+        let steps_per_period = 56.0 * f64::from(best_o);
+        let step_deg = 360.0 / steps_per_period;
+        let quantised = (phase_deg / step_deg).round() * step_deg;
+        Ok(ClockSpec { freq_mhz: achieved, phase_deg: quantised.rem_euclid(360.0) })
+    }
+
+    /// Derives the TDC's launch/sample clock pair: same frequency, sample
+    /// clock offset by `theta_deg`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Mmcm::derive`].
+    pub fn derive_pair(&self, freq_mhz: f64, theta_deg: f64) -> Result<(ClockSpec, ClockSpec)> {
+        let launch = self.derive(freq_mhz, 0.0)?;
+        let sample = self.derive(freq_mhz, theta_deg)?;
+        Ok((launch, sample))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locks_100mhz_reference_into_band() {
+        let mmcm = Mmcm::lock_default(100.0).unwrap();
+        let vco = mmcm.vco_mhz();
+        assert!((600.0..=1200.0).contains(&vco), "vco {vco}");
+    }
+
+    #[test]
+    fn derives_the_paper_200mhz_tdc_clock() {
+        let mmcm = Mmcm::lock_default(100.0).unwrap();
+        let (launch, sample) = mmcm.derive_pair(200.0, 90.0).unwrap();
+        assert!((launch.freq_mhz - 200.0).abs() < 1.0);
+        assert_eq!(launch.freq_mhz, sample.freq_mhz, "same-frequency pair");
+        assert!((sample.phase_deg - 90.0).abs() < 1.0, "phase {}", sample.phase_deg);
+        assert!((launch.period_ps() - 5000.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn phase_is_quantised_not_exact() {
+        let mmcm = Mmcm::lock_default(100.0).unwrap();
+        let c = mmcm.derive(200.0, 33.3).unwrap();
+        // Must be a multiple of the step size.
+        let vco = mmcm.vco_mhz();
+        let o = (vco / c.freq_mhz).round();
+        let step = 360.0 / (56.0 * o);
+        let ratio = c.phase_deg / step;
+        assert!((ratio - ratio.round()).abs() < 1e-9, "phase not on grid: {}", c.phase_deg);
+    }
+
+    #[test]
+    fn phase_time_conversion() {
+        let spec = ClockSpec { freq_mhz: 200.0, phase_deg: 90.0 };
+        assert!((spec.phase_ps() - 1250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_frequencies_error() {
+        let mmcm = Mmcm::lock_default(100.0).unwrap();
+        assert!(mmcm.derive(3.0, 0.0).is_err(), "below vco/outdiv_max");
+        assert!(mmcm.derive(5000.0, 0.0).is_err(), "above vco");
+        assert!(mmcm.derive(-1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn bad_reference_rejected() {
+        assert!(Mmcm::lock_default(0.0).is_err());
+        assert!(Mmcm::lock_default(f64::NAN).is_err());
+        // 1 kHz reference cannot reach the VCO band with M <= 64.
+        assert!(Mmcm::lock_default(0.001).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Device resource models.
+//!
+//! The paper prototypes its "cloud FPGA" on a PYNQ-Z1 board, whose
+//! programmable logic is a Zynq XC7Z020. The headline resource claim —
+//! *"the power striker circuit consumes 15.03% logic slices"* — is checked
+//! against the real 7Z020 budget reproduced here.
+
+use crate::error::{FabricError, Result};
+use crate::floorplan::SiteGrid;
+use crate::netlist::ResourceUsage;
+
+/// Static resource budget of one FPGA device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    name: String,
+    luts: usize,
+    flip_flops: usize,
+    slices: usize,
+    dsp: usize,
+    bram36: usize,
+    grid: SiteGrid,
+    /// Nominal core supply voltage in volts.
+    vccint: f64,
+}
+
+impl Device {
+    /// The Zynq XC7Z020 (PYNQ-Z1 board): 53,200 LUTs, 106,400 flip-flops,
+    /// 13,300 slices, 220 DSP48E1, 140 RAMB36, VCCINT = 1.0 V.
+    pub fn zynq_7020() -> Self {
+        Device {
+            name: "xc7z020".into(),
+            luts: 53_200,
+            flip_flops: 106_400,
+            slices: 13_300,
+            dsp: 220,
+            bram36: 140,
+            grid: SiteGrid::new(160, 100, 23, 31).expect("static geometry is valid"),
+            vccint: 1.0,
+        }
+    }
+
+    /// A small synthetic device for fast tests.
+    pub fn testbench_mini() -> Self {
+        Device {
+            name: "mini".into(),
+            luts: 1_600,
+            flip_flops: 3_200,
+            slices: 400,
+            dsp: 16,
+            bram36: 8,
+            grid: SiteGrid::new(24, 20, 5, 7).expect("static geometry is valid"),
+            vccint: 1.0,
+        }
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total LUT count.
+    pub fn luts(&self) -> usize {
+        self.luts
+    }
+
+    /// Total flip-flop count.
+    pub fn flip_flops(&self) -> usize {
+        self.flip_flops
+    }
+
+    /// Total logic-slice count.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Total DSP48 count.
+    pub fn dsp(&self) -> usize {
+        self.dsp
+    }
+
+    /// Total 36 Kb BRAM count.
+    pub fn bram36(&self) -> usize {
+        self.bram36
+    }
+
+    /// Site grid used for floorplanning.
+    pub fn grid(&self) -> &SiteGrid {
+        &self.grid
+    }
+
+    /// Nominal core voltage in volts.
+    pub fn vccint(&self) -> f64 {
+        self.vccint
+    }
+
+    /// Checks that `usage` fits the whole device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::PlacementOverflow`] naming the first exhausted
+    /// resource.
+    pub fn admit(&self, usage: &ResourceUsage) -> Result<()> {
+        let checks: [(&str, usize, usize); 5] = [
+            ("LUT", usage.luts, self.luts),
+            ("FF", usage.flip_flops + usage.latches, self.flip_flops),
+            ("slice", usage.slices(), self.slices),
+            ("DSP48", usage.dsp, self.dsp),
+            ("BRAM36", usage.bram, self.bram36),
+        ];
+        for (what, requested, available) in checks {
+            if requested > available {
+                return Err(FabricError::PlacementOverflow {
+                    requested,
+                    available,
+                    what: what.into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Utilisation percentages for a usage report.
+    pub fn utilization(&self, usage: &ResourceUsage) -> Utilization {
+        let pct = |num: usize, den: usize| 100.0 * num as f64 / den as f64;
+        Utilization {
+            lut_pct: pct(usage.luts, self.luts),
+            ff_pct: pct(usage.flip_flops + usage.latches, self.flip_flops),
+            slice_pct: pct(usage.slices(), self.slices),
+            dsp_pct: pct(usage.dsp, self.dsp),
+            bram_pct: pct(usage.bram, self.bram36),
+        }
+    }
+}
+
+/// Percent-of-device utilisation of each resource class.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Utilization {
+    /// LUT utilisation in percent.
+    pub lut_pct: f64,
+    /// Storage-element utilisation in percent.
+    pub ff_pct: f64,
+    /// Slice utilisation in percent.
+    pub slice_pct: f64,
+    /// DSP utilisation in percent.
+    pub dsp_pct: f64,
+    /// BRAM utilisation in percent.
+    pub bram_pct: f64,
+}
+
+impl std::fmt::Display for Utilization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LUT {:5.2}% | FF {:5.2}% | slice {:5.2}% | DSP {:5.2}% | BRAM {:5.2}%",
+            self.lut_pct, self.ff_pct, self.slice_pct, self.dsp_pct, self.bram_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zynq_7020_budget_matches_datasheet() {
+        let d = Device::zynq_7020();
+        assert_eq!(d.luts(), 53_200);
+        assert_eq!(d.flip_flops(), 106_400);
+        assert_eq!(d.slices(), 13_300);
+        assert_eq!(d.dsp(), 220);
+        assert_eq!(d.bram36(), 140);
+        assert_eq!(d.vccint(), 1.0);
+    }
+
+    #[test]
+    fn admit_rejects_overflow_by_resource() {
+        let d = Device::testbench_mini();
+        let ok = ResourceUsage { luts: 100, ..Default::default() };
+        d.admit(&ok).unwrap();
+        let too_many_dsp = ResourceUsage { dsp: 100, ..Default::default() };
+        let err = d.admit(&too_many_dsp).unwrap_err();
+        assert!(matches!(err, FabricError::PlacementOverflow { ref what, .. } if what == "DSP48"));
+    }
+
+    #[test]
+    fn utilization_percentages() {
+        let d = Device::zynq_7020();
+        // 15.03% of 13,300 slices ≈ 1999 slices ≈ 7996 LUTs fully packed.
+        let usage = ResourceUsage { luts: 7_996, ..Default::default() };
+        let u = d.utilization(&usage);
+        assert!((u.slice_pct - 15.03).abs() < 0.05, "slice pct {}", u.slice_pct);
+        let text = u.to_string();
+        assert!(text.contains("slice"));
+    }
+}

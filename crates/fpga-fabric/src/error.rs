@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by fabric-model operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FabricError {
+    /// A pin was already driven by another net.
+    PinAlreadyDriven { cell: String, pin: String },
+    /// A referenced cell, net or site does not exist.
+    NotFound(String),
+    /// A placement request does not fit the target region or device.
+    PlacementOverflow { requested: usize, available: usize, what: String },
+    /// Two regions overlap although they belong to different tenants.
+    RegionOverlap { a: String, b: String },
+    /// A clock request cannot be synthesised by the clock-management tile.
+    UnsatisfiableClock { requested_mhz: f64, reason: String },
+    /// The design failed a design-rule check that is configured as fatal.
+    DrcRejected { errors: usize },
+    /// Invalid argument to a fabric API.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::PinAlreadyDriven { cell, pin } => {
+                write!(f, "pin {cell}/{pin} is already driven")
+            }
+            FabricError::NotFound(what) => write!(f, "{what} not found"),
+            FabricError::PlacementOverflow { requested, available, what } => write!(
+                f,
+                "placement overflow: requested {requested} {what}, only {available} available"
+            ),
+            FabricError::RegionOverlap { a, b } => {
+                write!(f, "tenant regions {a} and {b} overlap")
+            }
+            FabricError::UnsatisfiableClock { requested_mhz, reason } => {
+                write!(f, "cannot synthesise {requested_mhz} MHz clock: {reason}")
+            }
+            FabricError::DrcRejected { errors } => {
+                write!(f, "design rejected by drc with {errors} error(s)")
+            }
+            FabricError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for FabricError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, FabricError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = FabricError::NotFound("net n42".into());
+        assert_eq!(e.to_string(), "net n42 not found");
+        let e = FabricError::PlacementOverflow {
+            requested: 10,
+            available: 4,
+            what: "DSP48E1".into(),
+        };
+        assert!(e.to_string().contains("requested 10 DSP48E1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FabricError>();
+    }
+}

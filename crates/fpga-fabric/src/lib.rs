@@ -1,0 +1,53 @@
+//! Behavioural FPGA fabric model.
+//!
+//! This crate is the device substrate for the DeepStrike reproduction. It
+//! models the parts of an FPGA that the attack's *viability argument* rests
+//! on, without simulating bit-level configuration:
+//!
+//! * [`primitive`] — behavioural models of the primitives the paper's
+//!   circuits are built from: `LUT6_2` (dual-output look-up table), `LDCE`
+//!   (transparent latch), `FDRE` (D flip-flop) and `CARRY4` (carry chain),
+//!   plus a DSP48E1 descriptor.
+//! * [`netlist`] — a cell/net graph with combinational-path tracking, enough
+//!   to express a ring oscillator, the paper's latch-based power-striker cell
+//!   and the TDC delay line.
+//! * [`drc`] — a Vivado-style design-rule check. The rule that matters for
+//!   the paper is the combinational-loop check (`LUTLP-1`): a classic
+//!   LUT-only ring oscillator *fails* it, while DeepStrike's latch-based
+//!   striker *passes*, which is the paper's §III-C claim.
+//! * [`floorplan`] — a site grid with rectangular tenant regions, placement
+//!   and distance queries (the paper places attacker and victim far apart).
+//! * [`clock`] — a clock-management tile that derives same-frequency,
+//!   phase-shifted clock pairs, as the TDC sensor requires.
+//! * [`device`] — device resource models, including the Zynq-7020 found on
+//!   the PYNQ-Z1 board used in the paper.
+//! * [`bitstream`] — the "hypervisor view": multiple tenant netlists merged
+//!   into one deployable image, gated by DRC and region checks.
+//!
+//! # Example
+//!
+//! ```
+//! use fpga_fabric::netlist::Netlist;
+//! use fpga_fabric::drc::{check, Severity};
+//!
+//! // A two-LUT ring oscillator: combinational loop, must fail DRC.
+//! let mut n = Netlist::new("ro");
+//! let a = n.add_lut1_inverter("inv_a");
+//! let b = n.add_lut1_inverter("inv_b");
+//! n.connect(n.output_of(a), n.input_of(b, 0)).unwrap();
+//! n.connect(n.output_of(b), n.input_of(a, 0)).unwrap();
+//! let report = check(&n);
+//! assert!(report.violations.iter().any(|v| v.severity == Severity::Error));
+//! ```
+
+pub mod bitstream;
+pub mod clock;
+pub mod device;
+pub mod drc;
+pub mod floorplan;
+pub mod netlist;
+pub mod primitive;
+
+mod error;
+
+pub use error::{FabricError, Result};

@@ -1,0 +1,119 @@
+//! Property-based tests for the fabric model.
+
+use fpga_fabric::clock::Mmcm;
+use fpga_fabric::drc::{check, Rule};
+use fpga_fabric::floorplan::Region;
+use fpga_fabric::netlist::Netlist;
+use fpga_fabric::primitive::{Carry4, Lut6, Lut6_2};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any acyclic LUT network passes the loop rule regardless of topology.
+    #[test]
+    fn random_dags_never_have_comb_loops(edges in prop::collection::vec((0usize..30, 0usize..30), 0..80)) {
+        let mut n = Netlist::new("dag");
+        let cells: Vec<_> = (0..30).map(|i| n.add_lut1_inverter(&format!("l{i}"))).collect();
+        let mut next_pin = vec![0u8; 30];
+        for (a, b) in edges {
+            // Only forward edges (a < b) keep the graph acyclic.
+            let (a, b) = if a < b { (a, b) } else if b < a { (b, a) } else { continue };
+            if next_pin[b] >= 6 {
+                continue;
+            }
+            n.connect(n.output_of(cells[a]), n.input_of(cells[b], next_pin[b])).unwrap();
+            next_pin[b] += 1;
+        }
+        let report = check(&n);
+        prop_assert!(report.of_rule(Rule::CombinationalLoop).next().is_none());
+        prop_assert!(report.is_deployable());
+    }
+
+    /// Adding a single back edge to a forward chain always creates exactly
+    /// one combinational loop.
+    #[test]
+    fn one_back_edge_one_loop(len in 2usize..20, back_from in 1usize..19, back_to in 0usize..18) {
+        let back_from = back_from.min(len - 1);
+        let back_to = back_to.min(back_from.saturating_sub(1));
+        let mut n = Netlist::new("loop");
+        let cells: Vec<_> = (0..len).map(|i| n.add_lut1_inverter(&format!("l{i}"))).collect();
+        for i in 0..len - 1 {
+            n.connect(n.output_of(cells[i]), n.input_of(cells[i + 1], 0)).unwrap();
+        }
+        n.connect(n.output_of(cells[back_from]), n.input_of(cells[back_to], 1)).unwrap();
+        let report = check(&n);
+        prop_assert_eq!(report.of_rule(Rule::CombinationalLoop).count(), 1);
+        let v = report.of_rule(Rule::CombinationalLoop).next().unwrap();
+        prop_assert_eq!(v.cells.len(), back_from - back_to + 1);
+    }
+
+    /// LUT6 evaluation equals direct INIT-bit lookup for random tables.
+    #[test]
+    fn lut6_eval_matches_init(init in any::<u64>(), addr in 0u8..64) {
+        let lut = Lut6::new(init);
+        let inputs = std::array::from_fn(|i| addr >> i & 1 == 1);
+        prop_assert_eq!(lut.eval(inputs), init >> addr & 1 == 1);
+    }
+
+    /// LUT6_2's O5 never depends on I5.
+    #[test]
+    fn lut6_2_o5_ignores_i5(init in any::<u64>(), addr in 0u8..32) {
+        let lut = Lut6_2::new(init);
+        let mk = |i5: bool| {
+            let mut v: [bool; 6] = std::array::from_fn(|i| addr >> i & 1 == 1);
+            v[5] = i5;
+            v
+        };
+        prop_assert_eq!(lut.eval(mk(false)).1, lut.eval(mk(true)).1);
+    }
+
+    /// Carry4 with all-high selects ripples any carry-in through unchanged.
+    #[test]
+    fn carry4_ripple_identity(ci in any::<bool>(), di in any::<[bool; 4]>()) {
+        let (co, _) = Carry4::eval(ci, [true; 4], di);
+        prop_assert_eq!(co, [ci; 4]);
+    }
+
+    /// Region overlap is symmetric and reflexive.
+    #[test]
+    fn region_overlap_laws(
+        ax in 0u32..50, ay in 0u32..50, aw in 0u32..20, ah in 0u32..20,
+        bx in 0u32..50, by in 0u32..50, bw in 0u32..20, bh in 0u32..20,
+    ) {
+        let a = Region::new(ax, ay, ax + aw, ay + ah);
+        let b = Region::new(bx, by, bx + bw, by + bh);
+        prop_assert!(a.overlaps(&a));
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        prop_assert!((a.distance_to(&b) - b.distance_to(&a)).abs() < 1e-12);
+    }
+
+    /// Netlist merge preserves cell counts and resource usage additively.
+    #[test]
+    fn merge_is_additive(n_a in 0usize..40, n_b in 0usize..40) {
+        let mk = |count: usize, tag: &str| {
+            let mut n = Netlist::new(tag);
+            for i in 0..count {
+                n.add_lut1_inverter(&format!("{tag}{i}"));
+            }
+            n
+        };
+        let mut host = mk(n_a, "a");
+        let other = mk(n_b, "b");
+        host.merge(&other, "t");
+        prop_assert_eq!(host.cell_count(), n_a + n_b);
+        prop_assert_eq!(host.resource_usage().luts, n_a + n_b);
+    }
+
+    /// Every MMCM-derivable clock lands within 5% of the request and its
+    /// phase on the quantisation grid.
+    #[test]
+    fn mmcm_outputs_meet_spec(freq in 25.0f64..800.0, phase in 0.0f64..359.0) {
+        let mmcm = Mmcm::lock_default(100.0).unwrap();
+        if let Ok(spec) = mmcm.derive(freq, phase) {
+            prop_assert!((spec.freq_mhz - freq).abs() / freq <= 0.05);
+            let o = (mmcm.vco_mhz() / spec.freq_mhz).round();
+            let step = 360.0 / (56.0 * o);
+            let ratio = spec.phase_deg / step;
+            prop_assert!((ratio - ratio.round()).abs() < 1e-6);
+        }
+    }
+}

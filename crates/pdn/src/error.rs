@@ -1,0 +1,46 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by PDN simulation setup.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PdnError {
+    /// A physical parameter was non-positive or non-finite.
+    InvalidParameter { name: &'static str, value: f64 },
+    /// The requested timestep violates the solver's stability bound.
+    UnstableTimestep { dt: f64, max_dt: f64 },
+    /// A grid coordinate or node index was out of range.
+    OutOfRange(String),
+}
+
+impl fmt::Display for PdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdnError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            PdnError::UnstableTimestep { dt, max_dt } => {
+                write!(f, "timestep {dt:.3e} s exceeds stability bound {max_dt:.3e} s")
+            }
+            PdnError::OutOfRange(what) => write!(f, "{what} out of range"),
+        }
+    }
+}
+
+impl Error for PdnError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, PdnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = PdnError::InvalidParameter { name: "c_die", value: -1.0 };
+        assert!(e.to_string().contains("c_die"));
+        let e = PdnError::UnstableTimestep { dt: 1e-6, max_dt: 1e-9 };
+        assert!(e.to_string().contains("stability"));
+    }
+}

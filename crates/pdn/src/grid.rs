@@ -1,0 +1,315 @@
+//! Spatial RC mesh on top of the lumped supply.
+//!
+//! The lumped model in [`crate::rlc`] captures the *global* droop every
+//! tenant sees; this mesh adds the *local* gradient: a current transient
+//! injected at the attacker's grid node droops nearby nodes more than
+//! distant ones. The victim-vs-attacker floorplan distance therefore
+//! modulates attack strength, as in the paper's Fig. 6a placement.
+//!
+//! Numerically, the node voltage is decomposed as
+//! `v_node = v_die(t) + δ_node`: the *common-mode* component `v_die` comes
+//! from the lumped transient model (global droop reaches every node within
+//! one step, as it does physically through the power planes), while the
+//! *local deviation* field `δ` solves the resistive mesh around the
+//! injected currents. `δ` is quasi-static relative to the 1 ns step and is
+//! relaxed by a few warm-started Gauss–Seidel sweeps per step — injections
+//! only change at cycle boundaries, so a handful of sweeps suffices.
+
+use crate::error::{PdnError, Result};
+use crate::rlc::LumpedPdn;
+
+/// Parameters of the spatial mesh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridParams {
+    /// Nodes in x.
+    pub nx: usize,
+    /// Nodes in y.
+    pub ny: usize,
+    /// Conductance from each node up to the die-level rail, in siemens.
+    pub g_supply: f64,
+    /// Conductance between neighbouring nodes, in siemens.
+    pub g_mesh: f64,
+    /// Gauss–Seidel sweeps per step.
+    pub sweeps: usize,
+}
+
+impl Default for GridParams {
+    fn default() -> Self {
+        // λ = √(g_mesh/g_supply) ≈ 5 node spacings: local droop decays to
+        // ~1/e five nodes away, so cross-die placement attenuates the local
+        // component substantially while the global droop is fully shared.
+        GridParams { nx: 16, ny: 10, g_supply: 5.0, g_mesh: 125.0, sweeps: 8 }
+    }
+}
+
+impl GridParams {
+    /// Validates geometry and conductances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidParameter`] or [`PdnError::OutOfRange`].
+    pub fn validate(&self) -> Result<()> {
+        if self.nx == 0 || self.ny == 0 {
+            return Err(PdnError::OutOfRange("grid dimensions".into()));
+        }
+        for (name, value) in [("g_supply", self.g_supply), ("g_mesh", self.g_mesh)] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(PdnError::InvalidParameter { name, value });
+            }
+        }
+        if self.sweeps == 0 {
+            return Err(PdnError::OutOfRange("sweeps".into()));
+        }
+        Ok(())
+    }
+
+    /// Characteristic attenuation length of local droop, in node spacings.
+    pub fn attenuation_length(&self) -> f64 {
+        (self.g_mesh / self.g_supply).sqrt()
+    }
+}
+
+/// A node coordinate on the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId {
+    /// Column.
+    pub x: usize,
+    /// Row.
+    pub y: usize,
+}
+
+/// Spatial PDN: lumped transient backbone + resistive mesh.
+///
+/// # Example
+///
+/// ```
+/// use pdn::grid::{GridParams, NodeId, SpatialPdn};
+/// use pdn::rlc::LumpedPdn;
+///
+/// let mut g = SpatialPdn::new(LumpedPdn::zynq_like(), GridParams::default())?;
+/// let attacker = NodeId { x: 1, y: 1 };
+/// let victim = NodeId { x: 14, y: 8 };
+/// g.inject(attacker, 6.0)?;
+/// for _ in 0..20 { g.step(1e-9); }
+/// assert!(g.voltage_at(attacker)? < g.voltage_at(victim)?);
+/// # Ok::<(), pdn::PdnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialPdn {
+    lumped: LumpedPdn,
+    params: GridParams,
+    /// Local deviation below the die rail, per node.
+    delta: Vec<f64>,
+    i_inj: Vec<f64>,
+}
+
+impl SpatialPdn {
+    /// Creates a mesh at the unloaded operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidParameter`] / [`PdnError::OutOfRange`] for
+    /// bad parameters.
+    pub fn new(lumped: LumpedPdn, params: GridParams) -> Result<Self> {
+        params.validate()?;
+        let n = params.nx * params.ny;
+        Ok(SpatialPdn { lumped, params, delta: vec![0.0; n], i_inj: vec![0.0; n] })
+    }
+
+    /// Convenience constructor with default mesh over a Zynq-like supply.
+    pub fn zynq_like() -> Self {
+        SpatialPdn::new(LumpedPdn::zynq_like(), GridParams::default())
+            .expect("default parameters are valid")
+    }
+
+    /// Mesh parameters.
+    pub fn params(&self) -> &GridParams {
+        &self.params
+    }
+
+    /// The lumped backbone (for inspecting the global state).
+    pub fn lumped(&self) -> &LumpedPdn {
+        &self.lumped
+    }
+
+    fn index(&self, node: NodeId) -> Result<usize> {
+        if node.x >= self.params.nx || node.y >= self.params.ny {
+            return Err(PdnError::OutOfRange(format!("node ({}, {})", node.x, node.y)));
+        }
+        Ok(node.y * self.params.nx + node.x)
+    }
+
+    /// Sets the current drawn at `node` (amps); replaces any previous value
+    /// for that node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::OutOfRange`] for coordinates off the mesh and
+    /// [`PdnError::InvalidParameter`] for negative or non-finite current.
+    pub fn inject(&mut self, node: NodeId, amps: f64) -> Result<()> {
+        if !(amps.is_finite() && amps >= 0.0) {
+            return Err(PdnError::InvalidParameter { name: "amps", value: amps });
+        }
+        let i = self.index(node)?;
+        self.i_inj[i] = amps;
+        Ok(())
+    }
+
+    /// Clears all injected currents.
+    pub fn clear_loads(&mut self) {
+        self.i_inj.iter_mut().for_each(|i| *i = 0.0);
+    }
+
+    /// Total injected current in amps.
+    pub fn total_load(&self) -> f64 {
+        self.i_inj.iter().sum()
+    }
+
+    /// Advances the lumped backbone one step and relaxes the local
+    /// deviation field. Returns the die-level (lumped) voltage.
+    pub fn step(&mut self, dt: f64) -> f64 {
+        let total = self.total_load();
+        let v_die = self.lumped.step(total, dt);
+        self.relax();
+        v_die
+    }
+
+    /// Gauss–Seidel relaxation of the local deviation field `δ` around the
+    /// injected currents (`δ = 0` where nothing is drawn).
+    fn relax(&mut self) {
+        let (nx, ny) = (self.params.nx, self.params.ny);
+        let gs = self.params.g_supply;
+        let gm = self.params.g_mesh;
+        for _ in 0..self.params.sweeps {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let i = y * nx + x;
+                    let mut g_sum = gs;
+                    let mut flow = 0.0;
+                    if x > 0 {
+                        g_sum += gm;
+                        flow += gm * self.delta[i - 1];
+                    }
+                    if x + 1 < nx {
+                        g_sum += gm;
+                        flow += gm * self.delta[i + 1];
+                    }
+                    if y > 0 {
+                        g_sum += gm;
+                        flow += gm * self.delta[i - nx];
+                    }
+                    if y + 1 < ny {
+                        g_sum += gm;
+                        flow += gm * self.delta[i + nx];
+                    }
+                    self.delta[i] = (flow - self.i_inj[i]) / g_sum;
+                }
+            }
+        }
+    }
+
+    /// Voltage at a mesh node in volts (`v_die + δ_node`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::OutOfRange`] for coordinates off the mesh.
+    pub fn voltage_at(&self, node: NodeId) -> Result<f64> {
+        Ok(self.lumped.voltage() + self.delta[self.index(node)?])
+    }
+
+    /// Maps a normalised floorplan position (`0..=1` in both axes) to the
+    /// nearest mesh node.
+    pub fn node_at_fraction(&self, fx: f64, fy: f64) -> NodeId {
+        let x = ((fx.clamp(0.0, 1.0)) * (self.params.nx - 1) as f64).round() as usize;
+        let y = ((fy.clamp(0.0, 1.0)) * (self.params.ny - 1) as f64).round() as usize;
+        NodeId { x, y }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settled_grid() -> SpatialPdn {
+        let mut g = SpatialPdn::zynq_like();
+        for _ in 0..5000 {
+            g.step(1e-9);
+        }
+        g
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let bad = GridParams { nx: 0, ..GridParams::default() };
+        assert!(SpatialPdn::new(LumpedPdn::zynq_like(), bad).is_err());
+        let bad = GridParams { g_mesh: -1.0, ..GridParams::default() };
+        assert!(SpatialPdn::new(LumpedPdn::zynq_like(), bad).is_err());
+        let bad = GridParams { sweeps: 0, ..GridParams::default() };
+        assert!(SpatialPdn::new(LumpedPdn::zynq_like(), bad).is_err());
+    }
+
+    #[test]
+    fn unloaded_mesh_sits_at_rail() {
+        let g = settled_grid();
+        for y in 0..g.params().ny {
+            for x in 0..g.params().nx {
+                let v = g.voltage_at(NodeId { x, y }).unwrap();
+                assert!((v - 1.0).abs() < 1e-3, "node ({x},{y}) at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_injection_droops_near_more_than_far() {
+        let mut g = settled_grid();
+        let near = NodeId { x: 1, y: 1 };
+        let mid = NodeId { x: 8, y: 5 };
+        let far = NodeId { x: 15, y: 9 };
+        g.inject(near, 6.0).unwrap();
+        for _ in 0..50 {
+            g.step(1e-9);
+        }
+        let vn = g.voltage_at(near).unwrap();
+        let vm = g.voltage_at(mid).unwrap();
+        let vf = g.voltage_at(far).unwrap();
+        assert!(vn < vm && vm < vf, "monotone decay violated: {vn} {vm} {vf}");
+        // Everyone shares the global droop.
+        assert!(vf < 1.0 - 0.01, "far node must still see global droop: {vf}");
+    }
+
+    #[test]
+    fn injection_bookkeeping() {
+        let mut g = SpatialPdn::zynq_like();
+        g.inject(NodeId { x: 0, y: 0 }, 1.0).unwrap();
+        g.inject(NodeId { x: 2, y: 3 }, 2.5).unwrap();
+        assert!((g.total_load() - 3.5).abs() < 1e-12);
+        g.inject(NodeId { x: 0, y: 0 }, 0.25).unwrap();
+        assert!((g.total_load() - 2.75).abs() < 1e-12, "inject replaces");
+        g.clear_loads();
+        assert_eq!(g.total_load(), 0.0);
+    }
+
+    #[test]
+    fn bad_injections_rejected() {
+        let mut g = SpatialPdn::zynq_like();
+        assert!(g.inject(NodeId { x: 99, y: 0 }, 1.0).is_err());
+        assert!(g.inject(NodeId { x: 0, y: 0 }, -1.0).is_err());
+        assert!(g.inject(NodeId { x: 0, y: 0 }, f64::NAN).is_err());
+        assert!(g.voltage_at(NodeId { x: 0, y: 99 }).is_err());
+    }
+
+    #[test]
+    fn fraction_mapping_hits_corners() {
+        let g = SpatialPdn::zynq_like();
+        assert_eq!(g.node_at_fraction(0.0, 0.0), NodeId { x: 0, y: 0 });
+        assert_eq!(g.node_at_fraction(1.0, 1.0), NodeId { x: 15, y: 9 });
+        assert_eq!(g.node_at_fraction(-3.0, 7.0), NodeId { x: 0, y: 9 }, "clamped");
+    }
+
+    #[test]
+    fn attenuation_length_is_in_design_band() {
+        let p = GridParams::default();
+        let lambda = p.attenuation_length();
+        assert!((3.0..8.0).contains(&lambda), "λ = {lambda}");
+    }
+}

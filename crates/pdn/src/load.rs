@@ -1,0 +1,123 @@
+//! Named current-load bookkeeping.
+//!
+//! The co-simulation has several independent current sinks on the shared
+//! rail — the victim accelerator, the striker bank, static leakage, and
+//! optionally further tenants. A [`LoadBook`] aggregates them by name so
+//! each component updates only its own draw each tick.
+
+use std::collections::BTreeMap;
+
+use crate::error::{PdnError, Result};
+
+/// A set of named current loads with a stable total.
+///
+/// # Example
+///
+/// ```
+/// use pdn::load::LoadBook;
+///
+/// let mut book = LoadBook::new();
+/// book.set("leakage", 0.25)?;
+/// book.set("victim", 1.2)?;
+/// book.set("striker", 0.0)?;
+/// assert!((book.total() - 1.45).abs() < 1e-12);
+/// book.set("striker", 7.5)?;
+/// assert!((book.total() - 8.95).abs() < 1e-12);
+/// # Ok::<(), pdn::PdnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoadBook {
+    loads: BTreeMap<String, f64>,
+}
+
+impl LoadBook {
+    /// Creates an empty book.
+    pub fn new() -> Self {
+        LoadBook::default()
+    }
+
+    /// Sets the draw of one named load in amps, replacing any prior value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidParameter`] for negative or non-finite
+    /// currents.
+    pub fn set(&mut self, name: &str, amps: f64) -> Result<()> {
+        if !(amps.is_finite() && amps >= 0.0) {
+            return Err(PdnError::InvalidParameter { name: "amps", value: amps });
+        }
+        self.loads.insert(name.to_string(), amps);
+        Ok(())
+    }
+
+    /// Current draw of a named load, if registered.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.loads.get(name).copied()
+    }
+
+    /// Removes a load; returns its last value.
+    pub fn remove(&mut self, name: &str) -> Option<f64> {
+        self.loads.remove(name)
+    }
+
+    /// Sum of all loads in amps.
+    pub fn total(&self) -> f64 {
+        self.loads.values().sum()
+    }
+
+    /// Number of registered loads.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Whether no loads are registered.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Iterates `(name, amps)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.loads.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_replaces_and_totals() {
+        let mut b = LoadBook::new();
+        b.set("a", 1.0).unwrap();
+        b.set("b", 2.0).unwrap();
+        b.set("a", 0.5).unwrap();
+        assert!((b.total() - 2.5).abs() < 1e-12);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let mut b = LoadBook::new();
+        assert!(b.set("x", -0.1).is_err());
+        assert!(b.set("x", f64::INFINITY).is_err());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn remove_returns_last_value() {
+        let mut b = LoadBook::new();
+        b.set("x", 3.0).unwrap();
+        assert_eq!(b.remove("x"), Some(3.0));
+        assert_eq!(b.remove("x"), None);
+        assert_eq!(b.total(), 0.0);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut b = LoadBook::new();
+        b.set("z", 1.0).unwrap();
+        b.set("a", 2.0).unwrap();
+        let names: Vec<&str> = b.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+}

@@ -1,0 +1,230 @@
+//! COBS framing with CRC-16 integrity.
+//!
+//! Frames on the wire are `COBS(payload ‖ CRC16(payload)) ‖ 0x00`. COBS
+//! (consistent-overhead byte stuffing) guarantees the encoded body contains
+//! no zero bytes, so a single `0x00` unambiguously delimits frames and the
+//! decoder resynchronises after arbitrary corruption by skipping to the
+//! next delimiter.
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// COBS-encodes `data` (no trailing delimiter).
+fn cobs_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + data.len() / 254 + 2);
+    let mut code_pos = 0usize;
+    out.push(0); // placeholder for the first code byte
+    let mut code: u8 = 1;
+    for &b in data {
+        if b == 0 {
+            out[code_pos] = code;
+            code_pos = out.len();
+            out.push(0);
+            code = 1;
+        } else {
+            out.push(b);
+            code += 1;
+            if code == 0xFF {
+                out[code_pos] = code;
+                code_pos = out.len();
+                out.push(0);
+                code = 1;
+            }
+        }
+    }
+    out[code_pos] = code;
+    out
+}
+
+/// COBS-decodes a delimiter-free block. Returns `None` on structure errors.
+fn cobs_decode(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut i = 0usize;
+    while i < data.len() {
+        let code = data[i] as usize;
+        if code == 0 || i + code > data.len() + 1 {
+            return None;
+        }
+        for &b in &data[i + 1..i + code] {
+            if b == 0 {
+                return None;
+            }
+            out.push(b);
+        }
+        i += code;
+        if code != 0xFF && i < data.len() {
+            out.push(0);
+        }
+    }
+    Some(out)
+}
+
+/// Encodes one payload into its on-wire representation
+/// (`COBS(payload ‖ crc) ‖ 0x00`).
+///
+/// # Example
+///
+/// ```
+/// use uart::frame::{encode_frame, FrameDecoder};
+///
+/// let wire = encode_frame(&[1, 2, 0, 3]);
+/// assert_eq!(wire.last(), Some(&0u8), "zero-delimited");
+/// assert!(!wire[..wire.len() - 1].contains(&0u8), "body is zero-free");
+/// let mut dec = FrameDecoder::new();
+/// assert_eq!(dec.push_bytes(&wire), vec![vec![1, 2, 0, 3]]);
+/// ```
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut body = payload.to_vec();
+    body.extend_from_slice(&crc16(payload).to_be_bytes());
+    let mut out = cobs_encode(&body);
+    out.push(0);
+    out
+}
+
+/// Streaming frame decoder: feed bytes, collect whole verified payloads.
+///
+/// Corrupt frames (bad COBS structure or CRC mismatch) are counted and
+/// dropped; decoding resynchronises at the next delimiter.
+#[derive(Debug, Clone, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    corrupt_frames: u64,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Number of frames dropped due to corruption so far.
+    pub fn corrupt_frames(&self) -> u64 {
+        self.corrupt_frames
+    }
+
+    /// Consumes raw bytes; returns every complete, CRC-verified payload.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        for &b in bytes {
+            if b != 0 {
+                self.buf.push(b);
+                continue;
+            }
+            if self.buf.is_empty() {
+                continue; // idle delimiter
+            }
+            let block = std::mem::take(&mut self.buf);
+            match cobs_decode(&block) {
+                Some(body) if body.len() >= 2 => {
+                    let (payload, crc_bytes) = body.split_at(body.len() - 2);
+                    let expect = u16::from_be_bytes([crc_bytes[0], crc_bytes[1]]);
+                    if crc16(payload) == expect {
+                        frames.push(payload.to_vec());
+                    } else {
+                        self.corrupt_frames += 1;
+                    }
+                }
+                _ => self.corrupt_frames += 1,
+            }
+        }
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+        assert_eq!(crc16(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn cobs_round_trip_including_zeros() {
+        for payload in [
+            vec![],
+            vec![0u8],
+            vec![0, 0, 0],
+            vec![1, 2, 3],
+            vec![1, 0, 2, 0, 3],
+            (0..=255u8).collect::<Vec<u8>>(),
+            vec![7u8; 600], // exercises the 254-byte COBS block split
+        ] {
+            let enc = cobs_encode(&payload);
+            assert!(!enc.contains(&0), "encoded body must be zero-free");
+            assert_eq!(cobs_decode(&enc), Some(payload));
+        }
+    }
+
+    #[test]
+    fn frame_round_trip_multiple_frames() {
+        let mut wire = Vec::new();
+        let payloads: Vec<Vec<u8>> = vec![b"abc".to_vec(), vec![0, 0], vec![42u8; 300]];
+        for p in &payloads {
+            wire.extend(encode_frame(p));
+        }
+        let mut dec = FrameDecoder::new();
+        // Feed one byte at a time to exercise streaming.
+        let mut got = Vec::new();
+        for b in wire {
+            got.extend(dec.push_bytes(&[b]));
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(dec.corrupt_frames(), 0);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_resynchronised() {
+        let mut wire = encode_frame(b"first");
+        wire[2] ^= 0x5A; // corrupt mid-frame
+        wire.extend(encode_frame(b"second"));
+        let mut dec = FrameDecoder::new();
+        let got = dec.push_bytes(&wire);
+        assert_eq!(got, vec![b"second".to_vec()]);
+        assert_eq!(dec.corrupt_frames(), 1);
+    }
+
+    #[test]
+    fn truncated_frame_then_recovery() {
+        let full = encode_frame(b"payload");
+        let mut dec = FrameDecoder::new();
+        // Half a frame, then a hard delimiter (e.g. line glitch), then a
+        // good frame.
+        let mut wire = full[..3].to_vec();
+        wire.push(0);
+        wire.extend(encode_frame(b"ok"));
+        let got = dec.push_bytes(&wire);
+        assert_eq!(got, vec![b"ok".to_vec()]);
+        assert_eq!(dec.corrupt_frames(), 1);
+    }
+
+    #[test]
+    fn idle_delimiters_are_ignored() {
+        let mut dec = FrameDecoder::new();
+        assert!(dec.push_bytes(&[0, 0, 0]).is_empty());
+        assert_eq!(dec.corrupt_frames(), 0);
+    }
+
+    #[test]
+    fn empty_payload_frame_round_trips() {
+        let wire = encode_frame(b"");
+        let mut dec = FrameDecoder::new();
+        assert_eq!(dec.push_bytes(&wire), vec![Vec::<u8>::new()]);
+    }
+}

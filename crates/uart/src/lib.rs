@@ -1,0 +1,36 @@
+//! Serial remote-control channel.
+//!
+//! In the paper's prototype "the adversary connects to this prototyped
+//! cloud-FPGA from the UART serial port, with which the adversary can
+//! gather on-chip side-channel leakage from the TDC-based delay-sensor and
+//! dynamically configure the attacking scheme file" (§IV). This crate is
+//! that channel:
+//!
+//! * [`frame`] — byte-stream framing (COBS encoding, zero delimiters) with
+//!   a CRC-16 integrity check, resilient to mid-stream corruption;
+//! * [`proto`] — the command/response protocol: stream TDC traces out,
+//!   load scheme files in, arm/disarm, query status;
+//! * [`link`] — an in-memory full-duplex byte link standing in for the
+//!   physical UART (with fault injection for tests);
+//! * [`session`] — the attacker-side client and the FPGA-side shell that
+//!   dispatches commands into whatever implements [`session::ShellHandler`].
+//!
+//! # Example
+//!
+//! ```
+//! use uart::frame::{encode_frame, FrameDecoder};
+//!
+//! let wire = encode_frame(b"hello");
+//! let mut dec = FrameDecoder::new();
+//! let frames = dec.push_bytes(&wire);
+//! assert_eq!(frames, vec![b"hello".to_vec()]);
+//! ```
+
+pub mod frame;
+pub mod link;
+pub mod proto;
+pub mod session;
+
+mod error;
+
+pub use error::{Result, UartError};

@@ -1,0 +1,112 @@
+//! In-memory full-duplex byte link standing in for the physical UART.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct Wire {
+    bytes: VecDeque<u8>,
+    /// Bit-corruption masks applied to the next bytes written (test rig).
+    pending_corruption: VecDeque<u8>,
+}
+
+/// One endpoint of a duplex byte link.
+///
+/// # Example
+///
+/// ```
+/// use uart::link::Endpoint;
+///
+/// let (mut a, mut b) = Endpoint::pair();
+/// a.send(b"ping");
+/// assert_eq!(b.recv_all(), b"ping");
+/// b.send(b"pong");
+/// assert_eq!(a.recv_all(), b"pong");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    tx: Arc<Mutex<Wire>>,
+    rx: Arc<Mutex<Wire>>,
+}
+
+impl Endpoint {
+    /// Creates a connected endpoint pair.
+    pub fn pair() -> (Endpoint, Endpoint) {
+        let ab = Arc::new(Mutex::new(Wire::default()));
+        let ba = Arc::new(Mutex::new(Wire::default()));
+        (
+            Endpoint { tx: Arc::clone(&ab), rx: Arc::clone(&ba) },
+            Endpoint { tx: ba, rx: ab },
+        )
+    }
+
+    /// Writes bytes toward the peer.
+    pub fn send(&mut self, bytes: &[u8]) {
+        let mut wire = self.tx.lock().expect("wire poisoned");
+        for &b in bytes {
+            let corrupted = match wire.pending_corruption.pop_front() {
+                Some(mask) => b ^ mask,
+                None => b,
+            };
+            wire.bytes.push_back(corrupted);
+        }
+    }
+
+    /// Drains every byte the peer has written so far.
+    pub fn recv_all(&mut self) -> Vec<u8> {
+        let mut wire = self.rx.lock().expect("wire poisoned");
+        wire.bytes.drain(..).collect()
+    }
+
+    /// Number of bytes waiting to be received.
+    pub fn pending(&self) -> usize {
+        self.rx.lock().expect("wire poisoned").bytes.len()
+    }
+
+    /// Test rig: XOR-corrupts the next `masks.len()` bytes this endpoint
+    /// sends (one mask per byte; `0` leaves a byte intact).
+    pub fn corrupt_next_sends(&mut self, masks: &[u8]) {
+        let mut wire = self.tx.lock().expect("wire poisoned");
+        wire.pending_corruption.extend(masks.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_is_independent_per_direction() {
+        let (mut a, mut b) = Endpoint::pair();
+        a.send(&[1, 2]);
+        b.send(&[9]);
+        assert_eq!(a.recv_all(), vec![9]);
+        assert_eq!(b.recv_all(), vec![1, 2]);
+        assert_eq!(a.recv_all(), Vec::<u8>::new(), "drained");
+    }
+
+    #[test]
+    fn pending_counts_bytes() {
+        let (mut a, b) = Endpoint::pair();
+        assert_eq!(b.pending(), 0);
+        a.send(&[5; 7]);
+        assert_eq!(b.pending(), 7);
+    }
+
+    #[test]
+    fn corruption_masks_apply_in_order() {
+        let (mut a, mut b) = Endpoint::pair();
+        a.corrupt_next_sends(&[0xFF, 0x00]);
+        a.send(&[0x0F, 0x0F, 0x0F]);
+        assert_eq!(b.recv_all(), vec![0xF0, 0x0F, 0x0F]);
+    }
+
+    #[test]
+    fn clone_shares_the_wire() {
+        let (mut a, mut b) = Endpoint::pair();
+        let mut a2 = a.clone();
+        a.send(&[1]);
+        a2.send(&[2]);
+        assert_eq!(b.recv_all(), vec![1, 2]);
+    }
+}

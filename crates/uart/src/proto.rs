@@ -1,0 +1,258 @@
+//! Command/response protocol between the remote adversary and the FPGA
+//! shell.
+//!
+//! The paper gives the adversary exactly two capabilities over UART:
+//! reading the TDC side-channel stream and configuring the attack-scheme
+//! file in the signal RAM. `Arm`/`Status` round out the operational loop
+//! (the scheme does nothing until the DNN-start detector is armed).
+
+use crate::error::UartError;
+
+/// Attacker → FPGA commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Command {
+    /// Stream back up to `max_samples` of the most recent TDC readouts.
+    ReadTrace {
+        /// Upper bound on returned samples.
+        max_samples: u32,
+    },
+    /// Replace the attack-scheme file in the signal RAM.
+    LoadScheme {
+        /// Encoded scheme bytes (see the `deepstrike` crate's codec).
+        data: Vec<u8>,
+    },
+    /// Arm or disarm the attack scheduler.
+    Arm {
+        /// `true` to arm.
+        enabled: bool,
+    },
+    /// Query scheduler status.
+    Status,
+}
+
+/// FPGA → attacker responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Response {
+    /// TDC samples, one byte each (the 8-bit encoder output).
+    Trace(Vec<u8>),
+    /// Command accepted.
+    Ack,
+    /// Scheduler status.
+    Status(StatusInfo),
+    /// Application-level error code.
+    Error(u8),
+}
+
+/// Scheduler status snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatusInfo {
+    /// Whether the scheduler is armed.
+    pub armed: bool,
+    /// Whether the DNN start detector has triggered since arming.
+    pub triggered: bool,
+    /// Power strikes fired since arming.
+    pub strikes_fired: u32,
+    /// Scheme-file length loaded in the signal RAM, in bits.
+    pub scheme_bits: u32,
+}
+
+const TAG_READ_TRACE: u8 = 0x01;
+const TAG_LOAD_SCHEME: u8 = 0x02;
+const TAG_ARM: u8 = 0x03;
+const TAG_STATUS: u8 = 0x04;
+const TAG_R_TRACE: u8 = 0x81;
+const TAG_R_ACK: u8 = 0x82;
+const TAG_R_STATUS: u8 = 0x84;
+const TAG_R_ERROR: u8 = 0xFF;
+
+impl Command {
+    /// Serialises the command to a frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            Command::ReadTrace { max_samples } => {
+                let mut v = vec![TAG_READ_TRACE];
+                v.extend_from_slice(&max_samples.to_le_bytes());
+                v
+            }
+            Command::LoadScheme { data } => {
+                let mut v = vec![TAG_LOAD_SCHEME];
+                v.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                v.extend_from_slice(data);
+                v
+            }
+            Command::Arm { enabled } => vec![TAG_ARM, u8::from(*enabled)],
+            Command::Status => vec![TAG_STATUS],
+        }
+    }
+
+    /// Parses a command from a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UartError::MalformedMessage`] on bad tags or truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, UartError> {
+        let (&tag, rest) = bytes
+            .split_first()
+            .ok_or_else(|| UartError::MalformedMessage("empty command".into()))?;
+        match tag {
+            TAG_READ_TRACE => {
+                let arr: [u8; 4] = rest
+                    .try_into()
+                    .map_err(|_| UartError::MalformedMessage("read_trace length".into()))?;
+                Ok(Command::ReadTrace { max_samples: u32::from_le_bytes(arr) })
+            }
+            TAG_LOAD_SCHEME => {
+                if rest.len() < 4 {
+                    return Err(UartError::MalformedMessage("load_scheme header".into()));
+                }
+                let len = u32::from_le_bytes(rest[..4].try_into().expect("len 4")) as usize;
+                if rest.len() != 4 + len {
+                    return Err(UartError::MalformedMessage("load_scheme body length".into()));
+                }
+                Ok(Command::LoadScheme { data: rest[4..].to_vec() })
+            }
+            TAG_ARM => match rest {
+                [flag] => Ok(Command::Arm { enabled: *flag != 0 }),
+                _ => Err(UartError::MalformedMessage("arm flag".into())),
+            },
+            TAG_STATUS => {
+                if rest.is_empty() {
+                    Ok(Command::Status)
+                } else {
+                    Err(UartError::MalformedMessage("status takes no payload".into()))
+                }
+            }
+            other => Err(UartError::MalformedMessage(format!("unknown command tag {other:#x}"))),
+        }
+    }
+}
+
+impl Response {
+    /// Serialises the response to a frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            Response::Trace(samples) => {
+                let mut v = vec![TAG_R_TRACE];
+                v.extend_from_slice(&(samples.len() as u32).to_le_bytes());
+                v.extend_from_slice(samples);
+                v
+            }
+            Response::Ack => vec![TAG_R_ACK],
+            Response::Status(s) => {
+                let mut v = vec![TAG_R_STATUS, u8::from(s.armed), u8::from(s.triggered)];
+                v.extend_from_slice(&s.strikes_fired.to_le_bytes());
+                v.extend_from_slice(&s.scheme_bits.to_le_bytes());
+                v
+            }
+            Response::Error(code) => vec![TAG_R_ERROR, *code],
+        }
+    }
+
+    /// Parses a response from a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UartError::MalformedMessage`] on bad tags or truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, UartError> {
+        let (&tag, rest) = bytes
+            .split_first()
+            .ok_or_else(|| UartError::MalformedMessage("empty response".into()))?;
+        match tag {
+            TAG_R_TRACE => {
+                if rest.len() < 4 {
+                    return Err(UartError::MalformedMessage("trace header".into()));
+                }
+                let len = u32::from_le_bytes(rest[..4].try_into().expect("len 4")) as usize;
+                if rest.len() != 4 + len {
+                    return Err(UartError::MalformedMessage("trace body length".into()));
+                }
+                Ok(Response::Trace(rest[4..].to_vec()))
+            }
+            TAG_R_ACK => {
+                if rest.is_empty() {
+                    Ok(Response::Ack)
+                } else {
+                    Err(UartError::MalformedMessage("ack takes no payload".into()))
+                }
+            }
+            TAG_R_STATUS => {
+                if rest.len() != 10 {
+                    return Err(UartError::MalformedMessage("status length".into()));
+                }
+                Ok(Response::Status(StatusInfo {
+                    armed: rest[0] != 0,
+                    triggered: rest[1] != 0,
+                    strikes_fired: u32::from_le_bytes(rest[2..6].try_into().expect("len 4")),
+                    scheme_bits: u32::from_le_bytes(rest[6..10].try_into().expect("len 4")),
+                }))
+            }
+            TAG_R_ERROR => match rest {
+                [code] => Ok(Response::Error(*code)),
+                _ => Err(UartError::MalformedMessage("error code".into())),
+            },
+            other => {
+                Err(UartError::MalformedMessage(format!("unknown response tag {other:#x}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_round_trips() {
+        let cmds = [
+            Command::ReadTrace { max_samples: 4096 },
+            Command::LoadScheme { data: vec![1, 2, 3, 0, 255] },
+            Command::LoadScheme { data: vec![] },
+            Command::Arm { enabled: true },
+            Command::Arm { enabled: false },
+            Command::Status,
+        ];
+        for c in cmds {
+            let bytes = c.to_bytes();
+            assert_eq!(Command::from_bytes(&bytes).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = [
+            Response::Trace(vec![90, 88, 70, 91]),
+            Response::Trace(vec![]),
+            Response::Ack,
+            Response::Status(StatusInfo {
+                armed: true,
+                triggered: true,
+                strikes_fired: 4500,
+                scheme_bits: 9000,
+            }),
+            Response::Error(7),
+        ];
+        for r in resps {
+            let bytes = r.to_bytes();
+            assert_eq!(Response::from_bytes(&bytes).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        assert!(Command::from_bytes(&[]).is_err());
+        assert!(Command::from_bytes(&[0x77]).is_err());
+        assert!(Command::from_bytes(&[0x01, 1, 2]).is_err(), "short read_trace");
+        assert!(Command::from_bytes(&[0x02, 10, 0, 0, 0, 1]).is_err(), "short scheme body");
+        assert!(Response::from_bytes(&[]).is_err());
+        assert!(Response::from_bytes(&[0x81, 5, 0, 0, 0]).is_err(), "short trace");
+        assert!(Response::from_bytes(&[0x84, 1]).is_err(), "short status");
+    }
+
+    #[test]
+    fn extra_payload_is_rejected() {
+        assert!(Command::from_bytes(&[0x04, 9]).is_err());
+        assert!(Response::from_bytes(&[0x82, 1]).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Attacker-side client and FPGA-side command shell.
+
+use crate::error::{Result, UartError};
+use crate::frame::{encode_frame, FrameDecoder};
+use crate::link::Endpoint;
+use crate::proto::{Command, Response, StatusInfo};
+
+/// What the FPGA side must implement to service the protocol.
+pub trait ShellHandler {
+    /// Returns up to `max_samples` of the most recent TDC readouts.
+    fn read_trace(&mut self, max_samples: usize) -> Vec<u8>;
+
+    /// Replaces the attack-scheme file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an application error code on rejection (e.g. oversized).
+    fn load_scheme(&mut self, data: &[u8]) -> std::result::Result<(), u8>;
+
+    /// Arms or disarms the attack scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns an application error code on rejection (e.g. no scheme).
+    fn arm(&mut self, enabled: bool) -> std::result::Result<(), u8>;
+
+    /// Scheduler status snapshot.
+    fn status(&mut self) -> StatusInfo;
+}
+
+/// The FPGA-side shell: polls the link, decodes commands, dispatches to a
+/// [`ShellHandler`] and answers.
+#[derive(Debug)]
+pub struct Shell {
+    endpoint: Endpoint,
+    decoder: FrameDecoder,
+}
+
+impl Shell {
+    /// Wraps a link endpoint.
+    pub fn new(endpoint: Endpoint) -> Self {
+        Shell { endpoint, decoder: FrameDecoder::new() }
+    }
+
+    /// Services every pending command; returns how many were handled.
+    /// Malformed commands are answered with `Response::Error(0xFE)`.
+    pub fn poll(&mut self, handler: &mut dyn ShellHandler) -> usize {
+        let bytes = self.endpoint.recv_all();
+        let frames = self.decoder.push_bytes(&bytes);
+        let mut handled = 0usize;
+        for frame in frames {
+            let response = match Command::from_bytes(&frame) {
+                Ok(Command::ReadTrace { max_samples }) => {
+                    Response::Trace(handler.read_trace(max_samples as usize))
+                }
+                Ok(Command::LoadScheme { data }) => match handler.load_scheme(&data) {
+                    Ok(()) => Response::Ack,
+                    Err(code) => Response::Error(code),
+                },
+                Ok(Command::Arm { enabled }) => match handler.arm(enabled) {
+                    Ok(()) => Response::Ack,
+                    Err(code) => Response::Error(code),
+                },
+                Ok(Command::Status) => Response::Status(handler.status()),
+                Err(_) => Response::Error(0xFE),
+            };
+            self.endpoint.send(&encode_frame(&response.to_bytes()));
+            handled += 1;
+        }
+        handled
+    }
+
+    /// Frames dropped by the decoder due to corruption.
+    pub fn corrupt_frames(&self) -> u64 {
+        self.decoder.corrupt_frames()
+    }
+}
+
+/// The attacker-side client. Since the link is in-memory, "waiting" for a
+/// response means giving the shell a chance to run: the client exposes
+/// [`Client::transact_with`], which pumps a shell closure until the
+/// response arrives (bounded by an iteration budget).
+#[derive(Debug)]
+pub struct Client {
+    endpoint: Endpoint,
+    decoder: FrameDecoder,
+}
+
+impl Client {
+    /// Wraps a link endpoint.
+    pub fn new(endpoint: Endpoint) -> Self {
+        Client { endpoint, decoder: FrameDecoder::new() }
+    }
+
+    /// Sends a command without waiting.
+    pub fn send(&mut self, command: &Command) {
+        self.endpoint.send(&encode_frame(&command.to_bytes()));
+    }
+
+    /// Direct access to the underlying link endpoint (raw byte injection,
+    /// corruption rigs in tests).
+    pub fn endpoint_mut(&mut self) -> &mut Endpoint {
+        &mut self.endpoint
+    }
+
+    /// Collects any responses that have arrived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UartError::MalformedMessage`] if a verified frame fails
+    /// protocol decoding.
+    pub fn poll_responses(&mut self) -> Result<Vec<Response>> {
+        let bytes = self.endpoint.recv_all();
+        let frames = self.decoder.push_bytes(&bytes);
+        frames.iter().map(|f| Response::from_bytes(f)).collect()
+    }
+
+    /// Sends `command`, then alternately runs `pump` (which should service
+    /// the FPGA side) and polls, until one response arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`UartError::Timeout`] if no response arrives within 100 pump
+    /// iterations; [`UartError::Remote`] if the shell answered with an
+    /// error; decoding errors pass through.
+    pub fn transact_with(
+        &mut self,
+        command: &Command,
+        mut pump: impl FnMut(),
+    ) -> Result<Response> {
+        self.send(command);
+        for _ in 0..100 {
+            pump();
+            let mut responses = self.poll_responses()?;
+            if let Some(r) = responses.pop() {
+                if let Response::Error(code) = r {
+                    return Err(UartError::Remote(code));
+                }
+                return Ok(r);
+            }
+        }
+        Err(UartError::Timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Endpoint;
+
+    #[derive(Default)]
+    struct FakeFpga {
+        trace: Vec<u8>,
+        scheme: Vec<u8>,
+        armed: bool,
+        reject_arm: bool,
+    }
+
+    impl ShellHandler for FakeFpga {
+        fn read_trace(&mut self, max_samples: usize) -> Vec<u8> {
+            self.trace.iter().copied().take(max_samples).collect()
+        }
+        fn load_scheme(&mut self, data: &[u8]) -> std::result::Result<(), u8> {
+            if data.len() > 16 {
+                return Err(3);
+            }
+            self.scheme = data.to_vec();
+            Ok(())
+        }
+        fn arm(&mut self, enabled: bool) -> std::result::Result<(), u8> {
+            if self.reject_arm {
+                return Err(9);
+            }
+            self.armed = enabled;
+            Ok(())
+        }
+        fn status(&mut self) -> StatusInfo {
+            StatusInfo {
+                armed: self.armed,
+                triggered: false,
+                strikes_fired: 0,
+                scheme_bits: (self.scheme.len() * 8) as u32,
+            }
+        }
+    }
+
+    fn rig() -> (Client, Shell, FakeFpga) {
+        let (a, b) = Endpoint::pair();
+        (Client::new(a), Shell::new(b), FakeFpga { trace: vec![90, 89, 70], ..Default::default() })
+    }
+
+    #[test]
+    fn end_to_end_trace_read() {
+        let (mut client, mut shell, mut fpga) = rig();
+        let r = client
+            .transact_with(&Command::ReadTrace { max_samples: 2 }, || {
+                shell.poll(&mut fpga);
+            })
+            .unwrap();
+        assert_eq!(r, Response::Trace(vec![90, 89]));
+    }
+
+    #[test]
+    fn scheme_load_and_status() {
+        let (mut client, mut shell, mut fpga) = rig();
+        let r = client
+            .transact_with(&Command::LoadScheme { data: vec![0xAA, 0x55] }, || {
+                shell.poll(&mut fpga);
+            })
+            .unwrap();
+        assert_eq!(r, Response::Ack);
+        let r = client
+            .transact_with(&Command::Status, || {
+                shell.poll(&mut fpga);
+            })
+            .unwrap();
+        assert_eq!(
+            r,
+            Response::Status(StatusInfo { scheme_bits: 16, ..StatusInfo::default() })
+        );
+    }
+
+    #[test]
+    fn remote_errors_surface() {
+        let (mut client, mut shell, mut fpga) = rig();
+        fpga.reject_arm = true;
+        let err = client
+            .transact_with(&Command::Arm { enabled: true }, || {
+                shell.poll(&mut fpga);
+            })
+            .unwrap_err();
+        assert_eq!(err, UartError::Remote(9));
+        let err = client
+            .transact_with(&Command::LoadScheme { data: vec![0; 64] }, || {
+                shell.poll(&mut fpga);
+            })
+            .unwrap_err();
+        assert_eq!(err, UartError::Remote(3));
+    }
+
+    #[test]
+    fn dead_shell_times_out() {
+        let (mut client, _shell, _fpga) = rig();
+        let err = client.transact_with(&Command::Status, || {}).unwrap_err();
+        assert_eq!(err, UartError::Timeout);
+    }
+
+    #[test]
+    fn corrupted_command_is_answered_with_protocol_error() {
+        let (a, b) = Endpoint::pair();
+        let mut raw = Endpoint::pair().0; // unrelated endpoint to craft bytes
+        let _ = &mut raw;
+        let mut client = Client::new(a);
+        let mut shell = Shell::new(b);
+        let mut fpga = FakeFpga::default();
+        // A verified frame whose payload is not a valid command.
+        client.endpoint.send(&encode_frame(&[0x77, 1, 2, 3]));
+        shell.poll(&mut fpga);
+        let resp = client.poll_responses().unwrap();
+        assert_eq!(resp, vec![Response::Error(0xFE)]);
+    }
+
+    #[test]
+    fn line_corruption_drops_frame_silently() {
+        let (a, b) = Endpoint::pair();
+        let mut client = Client::new(a);
+        let mut shell = Shell::new(b);
+        let mut fpga = FakeFpga::default();
+        client.endpoint.corrupt_next_sends(&[0x00, 0xFF]);
+        client.send(&Command::Status);
+        shell.poll(&mut fpga);
+        assert_eq!(shell.corrupt_frames(), 1);
+        assert!(client.poll_responses().unwrap().is_empty(), "no response to garbage");
+    }
+}

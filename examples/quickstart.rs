@@ -1,0 +1,79 @@
+//! Quickstart: assemble the cloud-FPGA platform, profile the victim over
+//! the TDC side channel, aim one strike burst at a layer, and score the
+//! damage.
+//!
+//! Uses a small MLP victim so it runs in a couple of seconds:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use accel::fault::FaultModel;
+use accel::schedule::AccelConfig;
+use deepstrike::attack::{evaluate_attack, plan_attack, profile_victim};
+use deepstrike::cosim::{CloudFpga, CosimConfig};
+use dnn::digits::{Dataset, RenderParams};
+use dnn::fixed::QFormat;
+use dnn::quant::QuantizedNetwork;
+use dnn::train::{train, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. Train a small victim and quantise it to the paper's 8-bit format.
+    println!("training victim…");
+    let mut ds = Dataset::generate(1_200, &RenderParams::default(), &mut rng);
+    let test = ds.split_off(200);
+    let mut net = dnn::zoo::mlp(&mut rng);
+    train(
+        &mut net,
+        &ds,
+        Some(&test),
+        &TrainConfig { epochs: 4, ..TrainConfig::default() },
+        &mut rng,
+    );
+    let victim = QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper())?;
+    println!("deployed accuracy: {:.1}%", 100.0 * victim.accuracy(test.iter()));
+
+    // 2. Assemble the two-tenant cloud FPGA: victim accelerator + attacker
+    //    (TDC sensor, start detector, signal RAM, 12k-cell power striker).
+    let mut fpga = CloudFpga::new(&victim, &AccelConfig::default(), 12_000, CosimConfig::default())?;
+    fpga.settle(100);
+
+    // 3. Profile the victim through the shared PDN.
+    let profile = profile_victim(&mut fpga, &["fc1", "fc2", "fc3"], 2)?;
+    for (name, start, len) in &profile.layer_windows {
+        println!("profiled {name}: starts cycle {start}, runs {len} cycles");
+    }
+
+    // 4. Plan and arm: 400 strikes tiling fc1.
+    let scheme = plan_attack(&profile, "fc1", 400)?;
+    fpga.scheduler_mut().load_scheme(&scheme)?;
+    fpga.scheduler_mut().arm(true)?;
+
+    // 5. Launch and score.
+    let run = fpga.run_inference();
+    println!(
+        "attack fired {} strikes (detector latched at cycle {:?})",
+        run.strike_cycles.len(),
+        run.triggered_cycle
+    );
+    let outcome = evaluate_attack(
+        &victim,
+        fpga.schedule(),
+        &run,
+        test.iter(),
+        FaultModel::paper(),
+        1,
+    );
+    println!(
+        "accuracy {:.1}% -> {:.1}% ({:.1} points lost, {:.0} MAC faults/image)",
+        outcome.clean_accuracy * 100.0,
+        outcome.attacked_accuracy * 100.0,
+        outcome.accuracy_drop(),
+        outcome.mean_faults_per_image,
+    );
+    Ok(())
+}

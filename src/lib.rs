@@ -1,0 +1,20 @@
+//! Umbrella crate for the DeepStrike reproduction workspace.
+//!
+//! This crate hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). The actual functionality lives in the
+//! member crates, re-exported here for convenience:
+//!
+//! * [`fabric`] — FPGA device substrate (netlists, DRC, floorplan, clocks).
+//! * [`pdn`] — transient power-distribution-network simulation.
+//! * [`dnn`] — tensors, training, fixed-point quantisation, LeNet-5.
+//! * [`accel`] — cycle-level DSP accelerator simulation and fault models.
+//! * [`deepstrike`] — the attack itself: TDC sensing, the power striker,
+//!   the start detector, signal RAM and the end-to-end campaign.
+//! * [`uart`] — the remote-control channel.
+
+pub use accel;
+pub use deepstrike;
+pub use dnn;
+pub use fpga_fabric as fabric;
+pub use pdn;
+pub use uart;

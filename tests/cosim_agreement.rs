@@ -1,0 +1,97 @@
+//! Agreement tests between the layers of the fault-modelling stack:
+//! closed-form probabilities ↔ cycle-level DSP sampling ↔ the statistical
+//! executor (DESIGN.md §4's "both modes are tested for agreement").
+
+use accel::dsp::{DspOp, DspSlice};
+use accel::executor::{infer_with_faults, NoFaults};
+use accel::fault::{FaultModel, MacFault};
+use accel::pe::PeArray;
+use dnn::fixed::QFormat;
+use dnn::quant::QuantizedNetwork;
+use dnn::tensor::Tensor;
+use dnn::zoo::mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn cycle_level_rates_match_closed_form_at_full_path_scale() {
+    let model = FaultModel::paper();
+    for &v in &[0.86, 0.83, 0.80, 0.76] {
+        let p = model.probabilities(v);
+        let mut pe = PeArray::new(8, model);
+        let mut rng = StdRng::seed_from_u64(99);
+        // Full-width operands so path scale is 1 (matching closed form).
+        let ops = (0..30_000).map(|i| DspOp { a: 100 + (i % 27), b: 120, d: 7 });
+        let tally = pe.characterize(ops, v, &mut rng);
+        assert!(
+            (tally.total_fault_rate() - p.total()).abs() < 0.02,
+            "total at {v}: sim {} vs closed form {}",
+            tally.total_fault_rate(),
+            p.total()
+        );
+        assert!(
+            (tally.duplicate_rate() - p.duplicate).abs() < 0.02,
+            "dup at {v}: sim {} vs closed form {}",
+            tally.duplicate_rate(),
+            p.duplicate
+        );
+    }
+}
+
+#[test]
+fn zero_products_never_fault_in_the_cycle_model() {
+    let model = FaultModel::paper();
+    let mut pe = PeArray::new(4, model);
+    let mut rng = StdRng::seed_from_u64(1);
+    // b = 0 ⇒ every product is zero ⇒ no toggling ⇒ no timing faults,
+    // even at crash-level droop.
+    let ops = (0..5_000).map(|i| DspOp { a: i, b: 0, d: 1 });
+    let tally = pe.characterize(ops, 0.70, &mut rng);
+    assert_eq!(tally.total_fault_rate(), 0.0);
+}
+
+#[test]
+fn statistical_executor_is_bit_exact_against_reference_when_clean() {
+    let net = mlp(&mut StdRng::seed_from_u64(12));
+    let q = QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper()).unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    for k in 0..8 {
+        let x = Tensor::full(&[1, 28, 28], 0.05 + 0.1 * k as f32);
+        let (logits, tally) = infer_with_faults(&q, &x, &mut NoFaults, &mut rng);
+        assert_eq!(logits, q.infer_logits(&x));
+        assert_eq!(tally.total(), 0);
+    }
+}
+
+#[test]
+fn duplication_semantics_match_between_dsp_and_executor_direction() {
+    // In both models a duplication fault yields the previous product of
+    // the same PE; verify the DSP side explicitly at a dup-prone voltage.
+    let model = FaultModel::paper();
+    let mut v = 1.0;
+    let mut best = (1.0, 0.0f64);
+    while v > 0.72 {
+        let d = model.probabilities(v).duplicate;
+        if d > best.1 {
+            best = (v, d);
+        }
+        v -= 0.002;
+    }
+    let mut dsp = DspSlice::new(model);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut prev_correct: Option<i64> = None;
+    let mut dup_checked = 0;
+    for i in 0..4_000i32 {
+        dsp.issue(DspOp { a: 100 + (i % 23), b: 119, d: 3 });
+        if let Some(out) = dsp.tick(best.0, &mut rng) {
+            if out.fault == MacFault::Duplicate {
+                if let Some(p) = prev_correct {
+                    assert_eq!(out.value, p, "duplication must replay the previous product");
+                    dup_checked += 1;
+                }
+            }
+            prev_correct = Some(out.op.correct());
+        }
+    }
+    assert!(dup_checked > 50, "too few duplications observed: {dup_checked}");
+}

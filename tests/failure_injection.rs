@@ -1,0 +1,167 @@
+//! Failure-path tests: corrupted links, oversized schemes, rejected
+//! bitstreams, unstable configurations.
+
+use accel::schedule::AccelConfig;
+use deepstrike::cosim::{CloudFpga, CosimConfig};
+use deepstrike::signal_ram::{AttackScheme, SignalRam, BRAM36_BITS};
+use deepstrike::DeepStrikeError;
+use dnn::fixed::QFormat;
+use dnn::quant::{QuantError, QuantizedNetwork};
+use dnn::zoo::mlp;
+use fpga_fabric::bitstream::{combine, TenantDesign};
+use fpga_fabric::device::Device;
+use fpga_fabric::floorplan::Region;
+use fpga_fabric::netlist::Netlist;
+use fpga_fabric::FabricError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uart::link::Endpoint;
+use uart::proto::Command;
+use uart::session::{Client, Shell};
+use uart::UartError;
+
+fn small_victim() -> QuantizedNetwork {
+    let net = mlp(&mut StdRng::seed_from_u64(0));
+    QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper()).unwrap()
+}
+
+fn fast_platform() -> CloudFpga {
+    let mut fpga = CloudFpga::new(
+        &small_victim(),
+        &AccelConfig { weight_bandwidth: 16, stall_cycles: 150, ..AccelConfig::default() },
+        8_000,
+        CosimConfig { pdn_substeps: 4, ..CosimConfig::default() },
+    )
+    .unwrap();
+    fpga.settle(20);
+    fpga
+}
+
+#[test]
+fn corrupted_uart_traffic_is_contained() {
+    let mut fpga = fast_platform();
+    let (a, b) = Endpoint::pair();
+    let mut client = Client::new(a);
+    let mut shell = Shell::new(b);
+
+    // Corrupt the first command entirely.
+    client.endpoint_mut().corrupt_next_sends(&[0x5A, 0xA5]);
+    client.send(&Command::Status);
+    shell.poll(&mut fpga);
+    assert_eq!(shell.corrupt_frames(), 1);
+    assert!(client.poll_responses().unwrap().is_empty());
+
+    // The link still works afterwards.
+    let r = client
+        .transact_with(&Command::Status, || {
+            shell.poll(&mut fpga);
+        })
+        .unwrap();
+    assert!(matches!(r, uart::proto::Response::Status(_)));
+}
+
+#[test]
+fn dead_fpga_times_out_cleanly() {
+    let (a, _b) = Endpoint::pair();
+    let mut client = Client::new(a);
+    let err = client.transact_with(&Command::Status, || {}).unwrap_err();
+    assert_eq!(err, UartError::Timeout);
+}
+
+#[test]
+fn oversized_scheme_rejected_locally_and_remotely() {
+    // Locally: the signal RAM refuses to load it.
+    let mut ram = SignalRam::new(1).unwrap();
+    let huge = AttackScheme {
+        delay_cycles: BRAM36_BITS as u32,
+        strikes: 10,
+        strike_cycles: 1,
+        gap_cycles: 0,
+    };
+    assert!(matches!(ram.load(&huge), Err(DeepStrikeError::SchemeTooLarge { .. })));
+
+    // Remotely: the shell answers with an application error code.
+    let mut fpga = fast_platform();
+    let (a, b) = Endpoint::pair();
+    let mut client = Client::new(a);
+    let mut shell = Shell::new(b);
+    let giant = AttackScheme {
+        delay_cycles: 3 * BRAM36_BITS as u32,
+        strikes: 1,
+        strike_cycles: 1,
+        gap_cycles: 0,
+    };
+    let err = client
+        .transact_with(&Command::LoadScheme { data: giant.to_bytes() }, || {
+            shell.poll(&mut fpga);
+        })
+        .unwrap_err();
+    assert_eq!(err, UartError::Remote(2));
+}
+
+#[test]
+fn truncated_scheme_bytes_rejected_remotely() {
+    let mut fpga = fast_platform();
+    let (a, b) = Endpoint::pair();
+    let mut client = Client::new(a);
+    let mut shell = Shell::new(b);
+    let err = client
+        .transact_with(&Command::LoadScheme { data: vec![1, 2, 3] }, || {
+            shell.poll(&mut fpga);
+        })
+        .unwrap_err();
+    assert_eq!(err, UartError::Remote(1));
+}
+
+#[test]
+fn arming_without_scheme_fails_remotely() {
+    let mut fpga = fast_platform();
+    let (a, b) = Endpoint::pair();
+    let mut client = Client::new(a);
+    let mut shell = Shell::new(b);
+    let err = client
+        .transact_with(&Command::Arm { enabled: true }, || {
+            shell.poll(&mut fpga);
+        })
+        .unwrap_err();
+    assert_eq!(err, UartError::Remote(3));
+}
+
+#[test]
+fn hypervisor_rejects_ring_oscillator_tenant() {
+    let device = Device::zynq_7020();
+    let mut benign = Netlist::new("victim");
+    benign.add_lut1_inverter("l");
+    let mut mal = Netlist::new("mal");
+    let a = mal.add_lut1_inverter("a");
+    let b = mal.add_lut1_inverter("b");
+    mal.connect(mal.output_of(a), mal.input_of(b, 0)).unwrap();
+    mal.connect(mal.output_of(b), mal.input_of(a, 0)).unwrap();
+    let cols = device.grid().cols();
+    let rows = device.grid().rows();
+    let err = combine(
+        &device,
+        vec![
+            TenantDesign::new("victim", benign, Region::new(0, 0, cols / 2 - 1, rows - 1)),
+            TenantDesign::new("mal", mal, Region::new(cols / 2, 0, cols - 1, rows - 1)),
+        ],
+    )
+    .unwrap_err();
+    assert!(matches!(err, FabricError::DrcRejected { .. }));
+}
+
+#[test]
+fn malformed_model_bytes_are_rejected() {
+    let q = small_victim();
+    let mut bytes = q.to_bytes();
+    // Truncations at every structural boundary must error, not panic.
+    for cut in [0, 1, 3, 5, 20, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            matches!(QuantizedNetwork::from_bytes(&bytes[..cut]), Err(QuantError::MalformedModel(_))),
+            "cut at {cut} must be rejected"
+        );
+    }
+    // Corrupting the layer tag must be rejected too.
+    bytes[46] = 0x7F; // first layer tag (after magic+format+rank+shape+count)
+    assert!(QuantizedNetwork::from_bytes(&bytes).is_err());
+}

@@ -1,0 +1,202 @@
+//! Property-based tests over the core data structures and codecs.
+
+use deepstrike::signal_ram::{AttackScheme, SignalRam};
+use dnn::fixed::QFormat;
+use dnn::tensor::Tensor;
+use fpga_fabric::drc;
+use fpga_fabric::netlist::Netlist;
+use pdn::delay::DelayModel;
+use pdn::rlc::{LumpedPdn, RlcParams};
+use proptest::prelude::*;
+use uart::frame::{encode_frame, FrameDecoder};
+use uart::proto::{Command, Response, StatusInfo};
+
+proptest! {
+    /// Quantisation is idempotent and error-bounded for in-range values.
+    #[test]
+    fn fixed_point_quantisation_laws(value in -3.9f32..3.9, frac in 1u8..8) {
+        let q = QFormat::new(true, frac);
+        // The error bound only holds for representable values; outside the
+        // range the format saturates (covered by the next property).
+        prop_assume!(value >= q.min_value() && value <= q.max_value());
+        let once = q.quantize(value).to_f32();
+        let twice = q.quantize(once).to_f32();
+        prop_assert_eq!(once, twice, "idempotent");
+        prop_assert!((once - value).abs() <= q.resolution() / 2.0 + 1e-6);
+    }
+
+    /// Saturation clamps all out-of-range values to the format bounds.
+    #[test]
+    fn fixed_point_saturates(value in prop::num::f32::NORMAL) {
+        let q = QFormat::paper();
+        let r = q.quantize(value).to_f32();
+        prop_assert!(r >= q.min_value() - 1e-6 && r <= q.max_value() + 1e-6);
+    }
+
+    /// Frame round trip for arbitrary payloads, even with embedded zeros.
+    #[test]
+    fn frame_round_trip(payload in prop::collection::vec(any::<u8>(), 0..600)) {
+        let wire = encode_frame(&payload);
+        prop_assert!(!wire[..wire.len() - 1].contains(&0), "COBS body zero-free");
+        let mut dec = FrameDecoder::new();
+        let got = dec.push_bytes(&wire);
+        prop_assert_eq!(got, vec![payload]);
+        prop_assert_eq!(dec.corrupt_frames(), 0);
+    }
+
+    /// Any single corrupted byte is either detected or yields the original
+    /// frame (a flip may hit redundant COBS structure in ways CRC still
+    /// catches; it must never produce a *different* accepted payload).
+    #[test]
+    fn frame_corruption_never_forges(
+        payload in prop::collection::vec(any::<u8>(), 1..80),
+        pos in 0usize..64,
+        mask in 1u8..=255,
+    ) {
+        let mut wire = encode_frame(&payload);
+        let idx = pos % (wire.len() - 1); // keep the delimiter intact
+        wire[idx] ^= mask;
+        let mut dec = FrameDecoder::new();
+        let got = dec.push_bytes(&wire);
+        for frame in got {
+            prop_assert_eq!(&frame, &payload, "corruption must not forge a new payload");
+        }
+    }
+
+    /// Command and response codecs round-trip.
+    #[test]
+    fn proto_round_trip(
+        max in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..64),
+        armed in any::<bool>(),
+        strikes in any::<u32>(),
+    ) {
+        let cmds = [
+            Command::ReadTrace { max_samples: max },
+            Command::LoadScheme { data: data.clone() },
+            Command::Arm { enabled: armed },
+            Command::Status,
+        ];
+        for c in cmds {
+            prop_assert_eq!(Command::from_bytes(&c.to_bytes()).unwrap(), c);
+        }
+        let resps = [
+            Response::Trace(data),
+            Response::Ack,
+            Response::Status(StatusInfo {
+                armed,
+                triggered: !armed,
+                strikes_fired: strikes,
+                scheme_bits: strikes / 2,
+            }),
+            Response::Error(7),
+        ];
+        for r in resps {
+            prop_assert_eq!(Response::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+    }
+
+    /// Scheme compilation: bit counts and strike counts always match.
+    #[test]
+    fn scheme_bit_accounting(
+        delay in 0u32..2_000,
+        strikes in 1u32..200,
+        on in 1u32..8,
+        gap in 0u32..8,
+    ) {
+        let s = AttackScheme {
+            delay_cycles: delay,
+            strikes,
+            strike_cycles: on,
+            gap_cycles: gap,
+        };
+        let bits = s.to_bits();
+        prop_assert_eq!(bits.len(), s.total_bits());
+        let ones = bits.iter().filter(|&&b| b).count() as u32;
+        prop_assert_eq!(ones, strikes * on);
+        prop_assert_eq!(AttackScheme::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    /// Signal-RAM playback reproduces the compiled bits exactly once.
+    #[test]
+    fn signal_ram_playback_matches_bits(
+        delay in 0u32..50,
+        strikes in 1u32..20,
+        gap in 0u32..5,
+    ) {
+        let s = AttackScheme { delay_cycles: delay, strikes, strike_cycles: 1, gap_cycles: gap };
+        let mut ram = SignalRam::new(1).unwrap();
+        ram.load(&s).unwrap();
+        ram.start();
+        let played: Vec<bool> = (0..s.total_bits()).map(|_| ram.next_bit()).collect();
+        prop_assert_eq!(played, s.to_bits());
+        prop_assert!(!ram.next_bit(), "exhausted playback stays low");
+    }
+
+    /// The delay law is monotone in voltage for any valid parameters.
+    #[test]
+    fn delay_factor_monotone(
+        v_a in 0.4f64..1.2,
+        v_b in 0.4f64..1.2,
+        alpha in 1.05f64..2.0,
+    ) {
+        let m = DelayModel::new(1.0, 0.35, alpha, 100.0).unwrap();
+        let (lo, hi) = if v_a < v_b { (v_a, v_b) } else { (v_b, v_a) };
+        prop_assert!(m.factor(lo) >= m.factor(hi) - 1e-12);
+    }
+
+    /// The lumped PDN never charges above Vdd or below ground under any
+    /// non-negative load profile.
+    #[test]
+    fn pdn_voltage_stays_physical(loads in prop::collection::vec(0.0f64..12.0, 1..200)) {
+        let mut pdn = LumpedPdn::new(RlcParams { vdd: 1.0, r: 0.045, l: 100e-12, c: 200e-9 })
+            .unwrap();
+        for &i_load in &loads {
+            let v = pdn.step(i_load, 1e-9);
+            prop_assert!(v <= 1.2 && v >= -0.2, "voltage {v} escaped physical range");
+        }
+    }
+
+    /// DRC verdicts are invariant under cell-insertion order.
+    #[test]
+    fn drc_invariant_under_ordering(n_chain in 2usize..12, _ro_first in any::<bool>()) {
+        let build = |ro_first: bool| {
+            let mut n = Netlist::new("mix");
+            let mk_ro = |n: &mut Netlist| {
+                let a = n.add_lut1_inverter("roa");
+                let b = n.add_lut1_inverter("rob");
+                n.connect(n.output_of(a), n.input_of(b, 0)).unwrap();
+                n.connect(n.output_of(b), n.input_of(a, 0)).unwrap();
+            };
+            let mk_chain = |n: &mut Netlist| {
+                let mut prev = n.add_lut1_inverter("c0");
+                for i in 1..n_chain {
+                    let next = n.add_lut1_inverter(&format!("c{i}"));
+                    n.connect(n.output_of(prev), n.input_of(next, 0)).unwrap();
+                    prev = next;
+                }
+            };
+            if ro_first {
+                mk_ro(&mut n);
+                mk_chain(&mut n);
+            } else {
+                mk_chain(&mut n);
+                mk_ro(&mut n);
+            }
+            n
+        };
+        let r1 = drc::check(&build(true));
+        let r2 = drc::check(&build(false));
+        prop_assert_eq!(r1.error_count(), r2.error_count());
+        prop_assert_eq!(r1.is_deployable(), r2.is_deployable());
+    }
+
+    /// Tensor reshape round-trips and preserves reductions.
+    #[test]
+    fn tensor_reshape_preserves_content(data in prop::collection::vec(-10.0f32..10.0, 12)) {
+        let t = Tensor::from_vec(data, &[3, 4]);
+        let r = t.reshaped(&[2, 6]).reshaped(&[12]).reshaped(&[3, 4]);
+        prop_assert_eq!(t.data(), r.data());
+        prop_assert_eq!(t.sum(), r.sum());
+    }
+}
