@@ -135,16 +135,16 @@ impl DspSlice {
             op.age += 1;
             op.min_voltage = op.min_voltage.min(voltage);
         }
-        if self.pipe.front().map_or(false, |f| f.age >= Self::LATENCY) {
+        if self.pipe.front().is_some_and(|f| f.age >= Self::LATENCY) {
             let f = self.pipe.pop_front().expect("front just checked");
             // The capture stage (this cycle's voltage) is the critical
             // path; the earlier stages carry extra slack and only corrupt
             // under much deeper in-flight droop. Small products exercise
             // less of the multiplier array (shorter carry chains).
             let correct = f.op.correct();
-            let scale =
-                FaultModel::path_scale(correct.clamp(i64::from(i32::MIN), i64::from(i32::MAX))
-                    as i32);
+            let scale = FaultModel::path_scale(
+                correct.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32,
+            );
             let fault =
                 self.fault_model.sample_pipelined_scaled(voltage, f.min_voltage, scale, rng);
             let value = match fault {

@@ -35,8 +35,7 @@ pub trait MacHook {
     /// and activation codes it multiplies — small products exercise less
     /// of the DSP's critical path (see
     /// [`FaultModel::path_scale`](crate::fault::FaultModel::path_scale)).
-    fn fault(&mut self, stage_index: usize, op_index: u64, weight: i8, activation: i8)
-        -> MacFault;
+    fn fault(&mut self, stage_index: usize, op_index: u64, weight: i8, activation: i8) -> MacFault;
 }
 
 /// A hook that never faults (reference behaviour).
@@ -346,8 +345,7 @@ mod tests {
         let q = qnet(4);
         let x = Tensor::full(&[1, 28, 28], 0.4);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut hook =
-            FixedRateHook { duplicate: 0.0, random: 1.0, rng: StdRng::seed_from_u64(2) };
+        let mut hook = FixedRateHook { duplicate: 0.0, random: 1.0, rng: StdRng::seed_from_u64(2) };
         let (logits, tally) = infer_with_faults(&q, &x, &mut hook, &mut rng);
         assert_ne!(logits, q.infer_logits(&x));
         assert!(tally.random > 100_000, "every DSP op faulted: {}", tally.random);

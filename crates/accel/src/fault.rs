@@ -65,7 +65,12 @@ impl DspTiming {
     /// 10 ns period. The nominal path uses 80% of it — the design meets
     /// timing at nominal voltage, as the paper's mapping-tool run confirms.
     pub fn paper_ddr() -> Self {
-        DspTiming { stage_delay_ps: 3220.0, budget_ps: 5000.0, window_frac: 0.08, jitter_frac: 0.18 }
+        DspTiming {
+            stage_delay_ps: 3220.0,
+            budget_ps: 5000.0,
+            window_frac: 0.08,
+            jitter_frac: 0.18,
+        }
     }
 
     /// Same pipeline clocked single-data-rate: full 10 ns budget. Used by
@@ -341,6 +346,8 @@ mod tests {
     #[test]
     fn paper_timing_has_positive_nominal_slack() {
         assert!(DspTiming::paper_ddr().nominal_slack_ps() > 0.0);
-        assert!(DspTiming::paper_sdr().nominal_slack_ps() > DspTiming::paper_ddr().nominal_slack_ps());
+        assert!(
+            DspTiming::paper_sdr().nominal_slack_ps() > DspTiming::paper_ddr().nominal_slack_ps()
+        );
     }
 }

@@ -67,9 +67,8 @@ impl ActivityModel {
                 let sig = self.signature(w.kind);
                 let local = cycle - w.start_cycle;
                 let phase = local % sig.ripple_period.max(1);
-                let wave = (phase as f64 / sig.ripple_period.max(1) as f64
-                    * std::f64::consts::TAU)
-                    .sin();
+                let wave =
+                    (phase as f64 / sig.ripple_period.max(1) as f64 * std::f64::consts::TAU).sin();
                 let noise = hash_noise(cycle, stage_seed(&w.name));
                 (sig.mean + sig.ripple * wave + sig.noise * noise).max(0.0)
             }
@@ -87,9 +86,8 @@ fn hash_noise(cycle: u64, seed: u64) -> f64 {
 }
 
 fn stage_seed(name: &str) -> u64 {
-    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
-    })
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3))
 }
 
 #[cfg(test)]
@@ -159,8 +157,7 @@ mod tests {
         let c2 = s.window("conv2").unwrap();
         let diffs = (0..200u64)
             .filter(|&k| {
-                (m.current_at(&s, c1.start_cycle + k) - m.current_at(&s, c2.start_cycle + k))
-                    .abs()
+                (m.current_at(&s, c1.start_cycle + k) - m.current_at(&s, c2.start_cycle + k)).abs()
                     > 1e-9
             })
             .count();

@@ -61,7 +61,7 @@ proptest! {
         net.push(Box::new(Conv2d::new("conv1", 1, out1, k1, &mut rng)));
         net.push(Box::new(Tanh::new("t1")));
         net.push(Box::new(MaxPool2d::new("pool1", 2)));
-        let side = (12 - k1 + 1) / 2;
+        let side = (12 - k1).div_ceil(2);
         net.push(Box::new(Dense::new("fc1", out1 * side * side, hidden, &mut rng)));
         net.push(Box::new(Dense::new("fc2", hidden, 10, &mut rng)));
         // Pool needs even input: only keep cases where 12-k1+1 is even.

@@ -3,10 +3,14 @@
 
 use accel::dsp::{DspOp, DspSlice};
 use accel::fault::FaultModel;
+use accel::schedule::AccelConfig;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deepstrike::attack::{evaluate_attack, plan_attack, profile_victim};
+use deepstrike::cosim::{CloudFpga, CosimConfig};
 use deepstrike::striker::StrikerBank;
 use deepstrike::tdc::{TdcConfig, TdcSensor};
 use dnn::fixed::QFormat;
+use dnn::layers::{Conv2d, Layer};
 use dnn::quant::QuantizedNetwork;
 use dnn::tensor::Tensor;
 use dnn::zoo::mlp;
@@ -14,19 +18,102 @@ use fpga_fabric::drc;
 use pdn::grid::SpatialPdn;
 use pdn::rlc::LumpedPdn;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn bench_pdn(c: &mut Criterion) {
     c.bench_function("pdn/lumped_step", |b| {
         let mut pdn = LumpedPdn::zynq_like();
         b.iter(|| black_box(pdn.step(black_box(1.3), 1e-9)));
     });
+    // Settled mesh: the bit-unchanged early exit fires after one sweep.
     c.bench_function("pdn/spatial_step_160_nodes", |b| {
         let mut grid = SpatialPdn::zynq_like();
         let node = grid.node_at_fraction(0.2, 0.5);
         grid.inject(node, 1.0).unwrap();
         b.iter(|| black_box(grid.step(1e-9)));
     });
+    // Re-excited mesh: the injection changes every step, so every sweep
+    // runs — the pre-optimisation cost profile.
+    c.bench_function("pdn/spatial_step_160_nodes_transient", |b| {
+        let mut grid = SpatialPdn::zynq_like();
+        let node = grid.node_at_fraction(0.2, 0.5);
+        let mut amps = 1.0;
+        b.iter(|| {
+            amps = if amps > 1.5 { 1.0 } else { amps + 0.01 };
+            grid.inject(node, amps).unwrap();
+            black_box(grid.step(1e-9))
+        });
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let input = Tensor::from_vec(
+        (0..6 * 14 * 14).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        &[6, 14, 14],
+    );
+    // The LeNet conv2 shape — the hottest layer of every training and
+    // attack-evaluation run. Naive is the original loop nest, kept as the
+    // bit-exactness oracle for the im2col fast path.
+    c.bench_function("conv/forward_naive_6x14x14_k5x16", |b| {
+        let mut conv = Conv2d::new("conv2", 6, 16, 5, &mut rng);
+        b.iter(|| black_box(conv.forward_naive(black_box(&input))));
+    });
+    c.bench_function("conv/forward_im2col_6x14x14_k5x16", |b| {
+        let mut conv = Conv2d::new("conv2", 6, 16, 5, &mut rng);
+        b.iter(|| black_box(conv.forward(black_box(&input))));
+    });
+    c.bench_function("conv/backward_6x14x14_k5x16", |b| {
+        let mut conv = Conv2d::new("conv2", 6, 16, 5, &mut rng);
+        let out = conv.forward(&input);
+        let grad = Tensor::full(out.shape(), 0.3);
+        b.iter(|| black_box(conv.backward(black_box(&grad))));
+    });
+}
+
+/// A 64-point slice of the fig5b campaign (reduced image count), the
+/// workload `par` distributes. One sample is a whole slice, so this bench
+/// directly tracks the campaign wall-clock the perf_sweep binary records.
+fn bench_fig5b_slice(c: &mut Criterion) {
+    let net = mlp(&mut StdRng::seed_from_u64(0));
+    let q = QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper()).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let images: Vec<(Tensor, usize)> =
+        (0..8).map(|d| (Tensor::full(&[1, 28, 28], 0.1 * d as f32), d as usize % 10)).collect();
+    let accel = AccelConfig { weight_bandwidth: 16, stall_cycles: 150, ..AccelConfig::default() };
+    let mut fpga = CloudFpga::new(
+        &q,
+        &accel,
+        8_000,
+        CosimConfig { pdn_substeps: 4, ..CosimConfig::default() },
+    )
+    .unwrap();
+    fpga.settle(50);
+    let profile = profile_victim(&mut fpga, &["fc1", "fc2", "fc3"], 1).unwrap();
+    let strikes: Vec<u32> = (0..64).map(|_| rng.gen_range(10u32..60)).collect();
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("fig5b_slice_64pt_mlp", |b| {
+        b.iter(|| {
+            black_box(par::map_items(&strikes, |&n| {
+                let mut fpga = fpga.clone();
+                let scheme = plan_attack(&profile, "fc1", n).expect("fits");
+                fpga.scheduler_mut().load_scheme(&scheme).expect("fits");
+                fpga.scheduler_mut().arm(true).expect("armed");
+                let run = fpga.run_inference();
+                evaluate_attack(
+                    &q,
+                    fpga.schedule(),
+                    &run,
+                    images.iter().map(|(x, y)| (x, *y)),
+                    FaultModel::paper(),
+                    1,
+                )
+                .attacked_accuracy
+            }))
+        });
+    });
+    group.finish();
 }
 
 fn bench_tdc(c: &mut Criterion) {
@@ -79,9 +166,11 @@ fn bench_drc(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_pdn,
+    bench_conv,
     bench_tdc,
     bench_dsp,
     bench_quant_inference,
-    bench_drc
+    bench_drc,
+    bench_fig5b_slice
 );
 criterion_main!(benches);

@@ -23,8 +23,8 @@ use rand::{Rng, SeedableRng};
 /// Worst droop at the victim node for a strike of `on_cycles` from a bank
 /// at `attacker_fx` (victim fixed at fx = 0.12).
 fn strike_droop(cells: usize, on_cycles: usize, attacker_fx: f64) -> (f64, f64) {
-    let mut grid = SpatialPdn::new(LumpedPdn::zynq_like(), GridParams::default())
-        .expect("default grid");
+    let mut grid =
+        SpatialPdn::new(LumpedPdn::zynq_like(), GridParams::default()).expect("default grid");
     let victim = grid.node_at_fraction(0.12, 0.5);
     let attacker = grid.node_at_fraction(attacker_fx, 0.5);
     grid.inject(victim, 1.0).expect("victim node");
@@ -46,11 +46,13 @@ fn strike_droop(cells: usize, on_cycles: usize, attacker_fx: f64) -> (f64, f64) 
 }
 
 fn main() {
+    // Every sweep point below is independently seeded, so each ablation
+    // fans its points out on the worker pool and merges in sweep order.
+
     // --- Ablation 1: strike duration -------------------------------------
-    let mut rows = Vec::new();
     let model = FaultModel::paper();
-    let mut duration_yield = Vec::new();
-    for on_cycles in [1usize, 2, 4, 8, 16] {
+    let durations = [1usize, 2, 4, 8, 16];
+    let duration_points = par::map_items(&durations, |&on_cycles| {
         let (v_min, energy_j) = strike_droop(8_000, on_cycles, 0.88);
         let mut pe = PeArray::new(8, model);
         let mut rng = StdRng::seed_from_u64(HARNESS_SEED);
@@ -60,13 +62,10 @@ fn main() {
         let mut thermal = ThermalModel::zynq_like();
         let avg_power = energy_j / (on_cycles as f64 * 10e-9) * 0.5;
         thermal.step(avg_power + 1.0, 10e-3);
-        duration_yield.push(rate);
-        rows.push(format!(
-            "{on_cycles},{:.4},{rate:.4},{:.2}",
-            v_min,
-            thermal.junction_temp()
-        ));
-    }
+        (rate, format!("{on_cycles},{v_min:.4},{rate:.4},{:.2}", thermal.junction_temp()))
+    });
+    let duration_yield: Vec<f64> = duration_points.iter().map(|(r, _)| *r).collect();
+    let rows: Vec<String> = duration_points.into_iter().map(|(_, row)| row).collect();
     emit_series(
         "Ablation 1: strike duration (8k cells, victim-side droop, fault rate, 10ms 50%-duty temp)",
         "on_cycles,victim_v_min,total_fault_rate,temp_c_after_10ms_burst_train",
@@ -78,13 +77,13 @@ fn main() {
     );
 
     // --- Ablation 2: placement distance ----------------------------------
-    let mut rows = Vec::new();
-    let mut droops = Vec::new();
-    for fx in [0.2, 0.4, 0.6, 0.88] {
+    let positions = [0.2, 0.4, 0.6, 0.88];
+    let placement_points = par::map_items(&positions, |&fx| {
         let (v_min, _) = strike_droop(8_000, 1, fx);
-        droops.push(1.0 - v_min);
-        rows.push(format!("{fx:.2},{v_min:.4},{:.1}", (1.0 - v_min) * 1000.0));
-    }
+        (1.0 - v_min, format!("{fx:.2},{v_min:.4},{:.1}", (1.0 - v_min) * 1000.0))
+    });
+    let droops: Vec<f64> = placement_points.iter().map(|(d, _)| *d).collect();
+    let rows: Vec<String> = placement_points.into_iter().map(|(_, row)| row).collect();
     emit_series(
         "Ablation 2: attacker placement (victim at fx=0.12)",
         "attacker_fx,victim_v_min,droop_mv",
@@ -97,9 +96,8 @@ fn main() {
 
     // --- Ablation 3: DDR vs SDR ------------------------------------------
     let delay = DelayModel::default();
-    let mut rows = Vec::new();
-    let mut rates = Vec::new();
-    for (name, timing) in [("ddr", DspTiming::paper_ddr()), ("sdr", DspTiming::paper_sdr())] {
+    let clockings = [("ddr", DspTiming::paper_ddr()), ("sdr", DspTiming::paper_sdr())];
+    let clocking_points = par::map_items(&clockings, |&(name, timing)| {
         let m = FaultModel::new(timing, delay);
         let mut pe = PeArray::new(8, m);
         let mut rng = StdRng::seed_from_u64(HARNESS_SEED);
@@ -110,9 +108,10 @@ fn main() {
             d: op_rng.gen_range(-128..128),
         });
         let rate = pe.characterize(ops, 0.80, &mut rng).total_fault_rate();
-        rates.push(rate);
-        rows.push(format!("{name},{:.0},{rate:.4}", timing.budget_ps));
-    }
+        (rate, format!("{name},{:.0},{rate:.4}", timing.budget_ps))
+    });
+    let rates: Vec<f64> = clocking_points.iter().map(|(r, _)| *r).collect();
+    let rows: Vec<String> = clocking_points.into_iter().map(|(_, row)| row).collect();
     emit_series(
         "Ablation 3: DDR vs SDR DSP clocking at 0.80 V",
         "clocking,budget_ps,total_fault_rate",

@@ -59,23 +59,21 @@ fn attack(q: &QuantizedNetwork, layers: &[&str], target: &str) -> (f64, f64) {
 }
 
 fn main() {
+    // Networks are built and trained serially from one shared rng (the
+    // weight streams must not depend on scheduling); the per-architecture
+    // attack campaigns are independent and fan out on the worker pool.
     let mut rng = StdRng::seed_from_u64(HARNESS_SEED);
     let lenet = trained(dnn::lenet::lenet5(&mut rng), HARNESS_SEED);
     let mlp = trained(dnn::zoo::mlp(&mut rng), HARNESS_SEED + 1);
     let deep = trained(dnn::zoo::deep_cnn(&mut rng), HARNESS_SEED + 2);
 
-    let results = [
-        ("lenet5", attack(&lenet, &["conv1", "pool1", "conv2", "fc1", "fc2"], "conv1")),
-        ("mlp", attack(&mlp, &["fc1", "fc2", "fc3"], "fc1")),
-        (
-            "deep_cnn",
-            attack(
-                &deep,
-                &["conv1", "pool1", "conv2", "pool2", "conv3", "fc1", "fc2"],
-                "conv1",
-            ),
-        ),
+    let jobs: [(&str, &QuantizedNetwork, &[&str], &str); 3] = [
+        ("lenet5", &lenet, &["conv1", "pool1", "conv2", "fc1", "fc2"], "conv1"),
+        ("mlp", &mlp, &["fc1", "fc2", "fc3"], "fc1"),
+        ("deep_cnn", &deep, &["conv1", "pool1", "conv2", "pool2", "conv3", "fc1", "fc2"], "conv1"),
     ];
+    let results: Vec<(&str, (f64, f64))> =
+        par::map_items(&jobs, |&(name, q, layers, target)| (name, attack(q, layers, target)));
     emit_series(
         "Architecture sweep: guided attack on the first compute layer",
         "architecture,clean_pct,attacked_pct,drop_pts",

@@ -24,9 +24,7 @@ fn main() {
         ("power_striker_64cells", StrikerBank::new(64).expect("cells > 0").netlist()),
         (
             "tdc_sensor",
-            TdcSensor::calibrated(TdcConfig::default(), 100.0, 90)
-                .expect("calibration")
-                .netlist(),
+            TdcSensor::calibrated(TdcConfig::default(), 100.0, 90).expect("calibration").netlist(),
         ),
     ];
 
@@ -70,5 +68,7 @@ fn main() {
         strict.error_count()
     );
     assert!(!strict.is_deployable(), "strict policy must catch the striker");
-    println!("# shape-check: PASS (RO rejected, striker + TDC accepted, strict policy catches striker)");
+    println!(
+        "# shape-check: PASS (RO rejected, striker + TDC accepted, strict policy catches striker)"
+    );
 }

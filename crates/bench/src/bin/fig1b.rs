@@ -38,11 +38,7 @@ fn main() {
     emit_series(
         "Fig 1b: TDC readout while executing maxpool -> conv3x3 -> conv1x1",
         "sample,readout",
-        run.tdc_trace
-            .iter()
-            .step_by(8)
-            .enumerate()
-            .map(|(i, &v)| format!("{},{v}", i * 8)),
+        run.tdc_trace.iter().step_by(8).enumerate().map(|(i, &v)| format!("{},{v}", i * 8)),
     );
 
     // Per-phase statistics (the claims the paper draws from this figure).
@@ -66,11 +62,9 @@ fn main() {
 
     // Machine-checkable shape criteria.
     assert_eq!(segments.len(), 3, "three layer executions must be visible");
-    let idle_mean: f64 = run.tdc_trace[..segments[0].start]
-        .iter()
-        .map(|&v| f64::from(v))
-        .sum::<f64>()
-        / segments[0].start.max(1) as f64;
+    let idle_mean: f64 =
+        run.tdc_trace[..segments[0].start].iter().map(|&v| f64::from(v)).sum::<f64>()
+            / segments[0].start.max(1) as f64;
     assert!((86.0..92.0).contains(&idle_mean), "stall plateau {idle_mean} should sit near 90");
     assert!(
         segments[1].variance > 2.0 * segments[0].variance,

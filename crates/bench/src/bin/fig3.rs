@@ -7,9 +7,9 @@
 
 use accel::schedule::AccelConfig;
 use bench::{emit_series, trained_lenet};
+use deepstrike::attack::SAMPLES_PER_CYCLE;
 use deepstrike::cosim::{CloudFpga, CosimConfig};
 use deepstrike::detector::{DetectorConfig, StartDetector};
-use deepstrike::attack::SAMPLES_PER_CYCLE;
 
 fn main() {
     let (q, _) = trained_lenet();
@@ -43,11 +43,7 @@ fn main() {
     let trigger = trigger_sample.expect("detector must trigger");
     let trigger_cycle = trigger as u64 / SAMPLES_PER_CYCLE;
     println!("# detector latched at sample {trigger} (cycle {trigger_cycle})");
-    println!(
-        "# conv1 executes cycles {}..{}",
-        conv1.start_cycle,
-        conv1.end_cycle()
-    );
+    println!("# conv1 executes cycles {}..{}", conv1.start_cycle, conv1.end_cycle());
 
     assert!(
         trigger_cycle >= conv1.start_cycle && trigger_cycle < conv1.start_cycle + 200,

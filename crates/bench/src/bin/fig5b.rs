@@ -43,80 +43,84 @@ fn main() {
     let profile =
         profile_victim(&mut fpga, &STAGE_NAMES, 3).expect("profiling finds all five layers");
 
+    // Every campaign point starts from the same post-profiling platform
+    // snapshot and runs on the worker pool (`DEEPSTRIKE_THREADS`); results
+    // merge in job order, so the emitted series is identical at any
+    // thread count.
+    struct CampaignPoint {
+        target: &'static str,
+        strikes: u32,
+        blind: bool,
+    }
     let fractions = [0.125, 0.25, 0.5, 0.75, 1.0];
-    let mut rows = Vec::new();
-    let mut conv1_max_drop = 0.0f64;
-    let mut conv2_max_drop = 0.0f64;
-    let mut pool1_max_drop = 0.0f64;
-    let mut fc1_max_drop = 0.0f64;
-    let mut blind_max_drop = 0.0f64;
-
+    let mut points = Vec::new();
     for target in STAGE_NAMES {
         let (_, window_len) = profile.window(target).expect("profiled layer");
         let max_strikes = (window_len / 2).max(4) as u32;
         for &frac in &fractions {
             let strikes = ((f64::from(max_strikes) * frac) as u32).max(1);
-            let scheme = match plan_attack(&profile, target, strikes) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("skipping {target} at {strikes}: {e}");
-                    continue;
-                }
-            };
-            fpga.scheduler_mut().load_scheme(&scheme).expect("scheme fits");
-            fpga.scheduler_mut().arm(true).expect("scheme loaded");
-            let run = fpga.run_inference();
-            let outcome = evaluate_attack(
-                &q,
-                fpga.schedule(),
-                &run,
-                test.iter().take(EVAL_IMAGES),
-                FaultModel::paper(),
-                HARNESS_SEED,
-            );
-            let drop = outcome.accuracy_drop();
-            match target {
-                "conv1" => conv1_max_drop = conv1_max_drop.max(drop),
-                "conv2" => conv2_max_drop = conv2_max_drop.max(drop),
-                "pool1" => pool1_max_drop = pool1_max_drop.max(drop),
-                "fc1" => fc1_max_drop = fc1_max_drop.max(drop),
-                _ => {}
-            }
-            rows.push(format!(
-                "{target},{},{:.2},{:.2},{:.1}",
-                outcome.strikes_fired,
-                outcome.attacked_accuracy * 100.0,
-                drop,
-                outcome.mean_faults_per_image
-            ));
-            fpga.scheduler_mut().arm(false).expect("disarm");
+            points.push(CampaignPoint { target, strikes, blind: false });
         }
     }
-
     // Blind baseline: same strike budget sprayed over the whole inference.
     for &strikes in &[500u32, 1000, 2000, 3000, 4500] {
-        let scheme = plan_blind(fpga.schedule(), strikes);
+        points.push(CampaignPoint { target: "blind", strikes, blind: true });
+    }
+
+    let outcomes = par::map_items(&points, |p| {
+        let mut fpga = fpga.clone();
+        let scheme = if p.blind {
+            plan_blind(fpga.schedule(), p.strikes)
+        } else {
+            match plan_attack(&profile, p.target, p.strikes) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("skipping {} at {}: {e}", p.target, p.strikes);
+                    return None;
+                }
+            }
+        };
         fpga.scheduler_mut().load_scheme(&scheme).expect("scheme fits");
         fpga.scheduler_mut().arm(true).expect("scheme loaded");
-        fpga.scheduler_mut().force_start();
+        if p.blind {
+            fpga.scheduler_mut().force_start();
+        }
         let run = fpga.run_inference();
-        let outcome = evaluate_attack(
+        Some(evaluate_attack(
             &q,
             fpga.schedule(),
             &run,
             test.iter().take(EVAL_IMAGES),
             FaultModel::paper(),
             HARNESS_SEED,
-        );
-        blind_max_drop = blind_max_drop.max(outcome.accuracy_drop());
+        ))
+    });
+
+    let mut rows = Vec::new();
+    let mut conv1_max_drop = 0.0f64;
+    let mut conv2_max_drop = 0.0f64;
+    let mut pool1_max_drop = 0.0f64;
+    let mut fc1_max_drop = 0.0f64;
+    let mut blind_max_drop = 0.0f64;
+    for (point, outcome) in points.iter().zip(&outcomes) {
+        let Some(outcome) = outcome else { continue };
+        let drop = outcome.accuracy_drop();
+        match point.target {
+            "conv1" => conv1_max_drop = conv1_max_drop.max(drop),
+            "conv2" => conv2_max_drop = conv2_max_drop.max(drop),
+            "pool1" => pool1_max_drop = pool1_max_drop.max(drop),
+            "fc1" => fc1_max_drop = fc1_max_drop.max(drop),
+            "blind" => blind_max_drop = blind_max_drop.max(drop),
+            _ => {}
+        }
         rows.push(format!(
-            "blind,{},{:.2},{:.2},{:.1}",
+            "{},{},{:.2},{:.2},{:.1}",
+            point.target,
             outcome.strikes_fired,
             outcome.attacked_accuracy * 100.0,
-            outcome.accuracy_drop(),
+            drop,
             outcome.mean_faults_per_image
         ));
-        fpga.scheduler_mut().arm(false).expect("disarm");
     }
 
     emit_series(
@@ -130,10 +134,7 @@ fn main() {
         "# max drops (pts): conv1 {conv1_max_drop:.2}, conv2 {conv2_max_drop:.2}, pool1 \
          {pool1_max_drop:.2}, fc1 {fc1_max_drop:.2}, blind {blind_max_drop:.2}"
     );
-    assert!(
-        best_conv >= 4.0,
-        "a guided conv attack must visibly reduce accuracy ({best_conv:.2})"
-    );
+    assert!(best_conv >= 4.0, "a guided conv attack must visibly reduce accuracy ({best_conv:.2})");
     assert!(
         conv2_max_drop > fc1_max_drop && best_conv > 2.0 * fc1_max_drop.max(0.5),
         "conv targets ({best_conv:.2}) must out-damage the absorbing fc1 ({fc1_max_drop:.2})"
@@ -143,5 +144,7 @@ fn main() {
         best_conv > 1.5 * blind_max_drop.max(0.5),
         "guided attacks must dominate the blind baseline ({blind_max_drop:.2})"
     );
-    println!("# shape-check: PASS (conv layers vulnerable, fc1 absorbs, pool immune, blind ≈ flat)");
+    println!(
+        "# shape-check: PASS (conv layers vulnerable, fc1 absorbs, pool immune, blind ≈ flat)"
+    );
 }

@@ -41,12 +41,11 @@ fn strike_voltage(cells: usize) -> f64 {
 
 fn main() {
     let model = FaultModel::paper();
-    let mut rows = Vec::new();
-    let mut total_at_24k = 0.0f64;
-    let mut dup_peak = 0.0f64;
-    let mut onset_cells = None;
 
-    for cells in (0..=28_000usize).step_by(2_000) {
+    // Sweep points are independently seeded (`HARNESS_SEED ^ cells`), so
+    // they fan out on the worker pool and merge back in cell order.
+    let sweep: Vec<usize> = (0..=28_000usize).step_by(2_000).collect();
+    let results = par::map_items(&sweep, |&cells| {
         let v = strike_voltage(cells);
         let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ cells as u64);
         let mut pe = PeArray::new(8, model);
@@ -57,9 +56,14 @@ fn main() {
             d: op_rng.gen_range(-128..128),
         });
         let tally = pe.characterize(ops, v, &mut rng);
-        let dup = tally.duplicate_rate();
-        let rnd = tally.random_rate();
-        let total = tally.total_fault_rate();
+        (v, tally.duplicate_rate(), tally.random_rate(), tally.total_fault_rate())
+    });
+
+    let mut rows = Vec::new();
+    let mut total_at_24k = 0.0f64;
+    let mut dup_peak = 0.0f64;
+    let mut onset_cells = None;
+    for (&cells, &(v, dup, rnd, total)) in sweep.iter().zip(&results) {
         if total > 0.005 && onset_cells.is_none() {
             onset_cells = Some(cells);
         }

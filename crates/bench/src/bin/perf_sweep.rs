@@ -1,0 +1,195 @@
+//! Performance sweep: measures the campaign hot paths serial vs parallel
+//! and writes the machine-readable `BENCH_sweep.json` at the repo root.
+//!
+//! Three measurements:
+//!
+//! 1. **fig5b slice** — a 64-point guided-attack campaign (the fig5b inner
+//!    loop at reduced image count), run with `DEEPSTRIKE_THREADS=1` and
+//!    again on the full worker pool. The two passes must produce
+//!    byte-identical outcomes (the `par` determinism contract); the
+//!    speedup column is the wall-clock ratio. On a multi-core box the
+//!    parallel pass is expected to be ≥ 3× faster at 4+ cores; on a
+//!    single-core box both passes cost the same and `speedup ≈ 1`.
+//! 2. **conv forward** — the im2col fast path vs the original loop nest
+//!    (`forward_naive`, kept as the exactness oracle).
+//! 3. **grid step** — the spatial PDN step in the settled state (where the
+//!    early-exit fires after one sweep) vs mid-transient (all sweeps run).
+
+use std::time::Instant;
+
+use accel::fault::FaultModel;
+use accel::schedule::AccelConfig;
+use bench::report::{SweepEntry, SweepReport};
+use bench::{test_set, trained_lenet, HARNESS_SEED};
+use deepstrike::attack::{evaluate_attack, plan_attack, profile_victim, AttackOutcome};
+use deepstrike::cosim::{CloudFpga, CosimConfig};
+use dnn::layers::{Conv2d, Layer};
+use dnn::lenet::STAGE_NAMES;
+use dnn::tensor::Tensor;
+use pdn::grid::SpatialPdn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Campaign points in the fig5b slice.
+const SLICE_POINTS: usize = 64;
+
+/// Images scored per slice point (reduced from fig5b's 300 to keep the
+/// sweep fast while leaving enough work per point to parallelise).
+const SLICE_IMAGES: usize = 30;
+
+fn seconds(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+/// The fig5b inner loop at slice scale: one campaign point per
+/// `(target, strike fraction)` pair, all starting from the same profiled
+/// platform snapshot.
+fn fig5b_slice(
+    fpga: &CloudFpga,
+    profile: &deepstrike::attack::VictimProfile,
+    q: &dnn::quant::QuantizedNetwork,
+    test: &dnn::digits::Dataset,
+) -> Vec<AttackOutcome> {
+    let targets = ["conv1", "conv2"];
+    let points: Vec<(usize, u32)> = (0..SLICE_POINTS)
+        .map(|i| {
+            let target = i % targets.len();
+            let (_, len) = profile.window(targets[target]).expect("profiled layer");
+            let max_strikes = (len / 2).max(4) as u32;
+            let frac = (i / targets.len() + 1) as f64 / (SLICE_POINTS / targets.len()) as f64;
+            (target, ((f64::from(max_strikes) * frac) as u32).max(1))
+        })
+        .collect();
+    par::map_items(&points, |&(target, strikes)| {
+        let mut fpga = fpga.clone();
+        let scheme =
+            plan_attack(profile, targets[target], strikes).expect("slice points fit their windows");
+        fpga.scheduler_mut().load_scheme(&scheme).expect("scheme fits");
+        fpga.scheduler_mut().arm(true).expect("scheme loaded");
+        let run = fpga.run_inference();
+        evaluate_attack(
+            q,
+            fpga.schedule(),
+            &run,
+            test.iter().take(SLICE_IMAGES),
+            FaultModel::paper(),
+            HARNESS_SEED,
+        )
+    })
+}
+
+fn main() {
+    let mut report = SweepReport::new();
+
+    // --- fig5b slice: serial vs worker pool ------------------------------
+    let (q, _) = trained_lenet();
+    let test = test_set();
+    let mut fpga = CloudFpga::new(&q, &AccelConfig::default(), 8_000, CosimConfig::default())
+        .expect("platform assembles");
+    fpga.settle(200);
+    let profile = profile_victim(&mut fpga, &STAGE_NAMES, 1).expect("profiling");
+
+    std::env::set_var(par::THREADS_ENV, "1");
+    let mut serial_out = Vec::new();
+    let serial_s = seconds(|| serial_out = fig5b_slice(&fpga, &profile, &q, &test));
+    std::env::remove_var(par::THREADS_ENV);
+    let threads = par::thread_count();
+    let mut parallel_out = Vec::new();
+    let parallel_s = seconds(|| parallel_out = fig5b_slice(&fpga, &profile, &q, &test));
+    assert_eq!(
+        serial_out, parallel_out,
+        "1-thread and {threads}-thread campaigns must be bit-identical"
+    );
+    let speedup = serial_s / parallel_s;
+    println!(
+        "fig5b_slice/{SLICE_POINTS}pt: serial {serial_s:.2}s, {threads}-thread {parallel_s:.2}s \
+         ({speedup:.2}x), outcomes identical"
+    );
+    report.push(
+        SweepEntry::new(format!("fig5b_slice/{SLICE_POINTS}pt"))
+            .metric("points", SLICE_POINTS as f64)
+            .metric("images_per_point", SLICE_IMAGES as f64)
+            .metric("serial_s", serial_s)
+            .metric("parallel_s", parallel_s)
+            .metric("parallel_threads", threads as f64)
+            .metric("speedup", speedup),
+    );
+
+    // --- conv forward: naive loop nest vs im2col fast path ---------------
+    let mut rng = StdRng::seed_from_u64(HARNESS_SEED);
+    let mut conv = Conv2d::new("conv2", 6, 16, 5, &mut rng);
+    let input = Tensor::from_vec(
+        (0..6 * 14 * 14).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        &[6, 14, 14],
+    );
+    const CONV_ITERS: usize = 400;
+    let naive_s = seconds(|| {
+        for _ in 0..CONV_ITERS {
+            std::hint::black_box(conv.forward_naive(std::hint::black_box(&input)));
+        }
+    });
+    let fast_s = seconds(|| {
+        for _ in 0..CONV_ITERS {
+            std::hint::black_box(conv.forward(std::hint::black_box(&input)));
+        }
+    });
+    let conv_speedup = naive_s / fast_s;
+    println!(
+        "conv_forward/6x14x14_k5x16: naive {:.1}us, im2col {:.1}us ({conv_speedup:.2}x)",
+        naive_s / CONV_ITERS as f64 * 1e6,
+        fast_s / CONV_ITERS as f64 * 1e6
+    );
+    report.push(
+        SweepEntry::new("conv_forward/6x14x14_k5x16")
+            .metric("naive_us", naive_s / CONV_ITERS as f64 * 1e6)
+            .metric("fast_us", fast_s / CONV_ITERS as f64 * 1e6)
+            .metric("speedup", conv_speedup),
+    );
+
+    // --- grid step: settled (early-exit) vs transient ---------------------
+    const GRID_ITERS: usize = 20_000;
+    let mut grid = SpatialPdn::zynq_like();
+    let node = grid.node_at_fraction(0.2, 0.5);
+    grid.inject(node, 1.0).expect("node on mesh");
+    for _ in 0..5_000 {
+        grid.step(1e-9);
+    }
+    let settled_s = seconds(|| {
+        for _ in 0..GRID_ITERS {
+            std::hint::black_box(grid.step(1e-9));
+        }
+    });
+    // Re-excite the field every step so every sweep runs.
+    let mut amps = 1.0;
+    let transient_s = seconds(|| {
+        for _ in 0..GRID_ITERS {
+            amps = if amps > 1.5 { 1.0 } else { amps + 0.01 };
+            grid.inject(node, amps).expect("node on mesh");
+            std::hint::black_box(grid.step(1e-9));
+        }
+    });
+    let grid_speedup = transient_s / settled_s;
+    println!(
+        "grid_step/160_nodes: transient {:.0}ns, settled {:.0}ns ({grid_speedup:.2}x early-exit)",
+        transient_s / GRID_ITERS as f64 * 1e9,
+        settled_s / GRID_ITERS as f64 * 1e9
+    );
+    report.push(
+        SweepEntry::new("grid_step/160_nodes")
+            .metric("transient_ns", transient_s / GRID_ITERS as f64 * 1e9)
+            .metric("settled_ns", settled_s / GRID_ITERS as f64 * 1e9)
+            .metric("early_exit_speedup", grid_speedup),
+    );
+
+    let path = {
+        let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.pop();
+        p.pop();
+        p.push("BENCH_sweep.json");
+        p
+    };
+    report.write_to(&path).expect("report is writable");
+    println!("wrote {}", path.display());
+}

@@ -48,14 +48,8 @@ fn main() {
             .collect();
         let cmean = capture_v.iter().sum::<f64>() / capture_v.len().max(1) as f64;
         let p = model.probabilities(cmean);
-        let outcome = evaluate_attack(
-            &q,
-            fpga.schedule(),
-            &run,
-            test.iter().take(60),
-            model,
-            HARNESS_SEED,
-        );
+        let outcome =
+            evaluate_attack(&q, fpga.schedule(), &run, test.iter().take(60), model, HARNESS_SEED);
         println!(
             "{target}: strikes {}, v_strike mean {cmean:.3} (min {vmin:.3}, inflight-mean {vmean:.3}), \
              P(dup) {:.3} P(rand) {:.3} | faults/img {:.0} (dup {:.0}, rand {:.0}) | acc {:.1}% drop {:.1}",

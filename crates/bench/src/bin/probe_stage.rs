@@ -35,11 +35,8 @@ fn main() {
             let mut faults = 0u64;
             let n = 200usize;
             for (i, (x, y)) in test.iter().take(n).enumerate() {
-                let mut hook = OneStage {
-                    stage,
-                    random: rate,
-                    rng: StdRng::seed_from_u64(100 + i as u64),
-                };
+                let mut hook =
+                    OneStage { stage, random: rate, rng: StdRng::seed_from_u64(100 + i as u64) };
                 let (logits, tally) = infer_with_faults(&q, x, &mut hook, &mut rng);
                 faults += tally.random;
                 let p = logits

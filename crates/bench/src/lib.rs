@@ -14,6 +14,8 @@
 //! | §III-C DRC claim | `drc_audit` |
 //! | §V future work (3 tenants, more DNNs) | `multi_tenant`, `arch_sweep` |
 
+pub mod report;
+
 use std::fs;
 use std::path::PathBuf;
 
@@ -49,16 +51,51 @@ fn cache_path(name: &str) -> PathBuf {
     p
 }
 
+/// FNV-1a over the little-endian encoding of each word.
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Cache key of the trained LeNet victim: a hash of everything that
+/// changes the trained weights (seed, dataset sizes, every training
+/// hyperparameter, quantisation format). Changing any of these switches
+/// to a fresh cache file instead of silently reusing a stale model.
+fn lenet_cache_key(config: &TrainConfig, quant: QFormat) -> u64 {
+    fnv1a(&[
+        HARNESS_SEED,
+        TRAIN_SAMPLES as u64,
+        TEST_SAMPLES as u64,
+        config.epochs as u64,
+        config.batch_size as u64,
+        u64::from(config.sgd.lr.to_bits()),
+        u64::from(config.sgd.momentum.to_bits()),
+        u64::from(quant.is_signed()),
+        u64::from(quant.frac_bits()),
+    ])
+}
+
 /// The deterministic held-out test set used by all figures.
 pub fn test_set() -> Dataset {
-    let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0x7E57_5E7);
+    let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0x07E5_75E7);
     Dataset::generate(TEST_SAMPLES, &RenderParams::challenging(), &mut rng)
 }
 
 /// Trains (or loads from cache) the paper's quantised LeNet-5 victim.
 /// Returns the deployed network and its test accuracy.
+///
+/// The cache file name embeds [`lenet_cache_key`], so editing the seed or
+/// any training hyperparameter invalidates the cache automatically.
 pub fn trained_lenet() -> (QuantizedNetwork, f64) {
-    let path = cache_path("lenet_q.bin");
+    let config = TrainConfig::default();
+    let quant = QFormat::paper();
+    let path = cache_path(&format!("lenet_q_{:016x}.bin", lenet_cache_key(&config, quant)));
     let test = test_set();
     if let Ok(bytes) = fs::read(&path) {
         if let Ok(q) = QuantizedNetwork::from_bytes(&bytes) {
@@ -72,9 +109,9 @@ pub fn trained_lenet() -> (QuantizedNetwork, f64) {
     let mut train_set = Dataset::generate(TRAIN_SAMPLES, &RenderParams::challenging(), &mut rng);
     let eval = train_set.split_off(TRAIN_SAMPLES / 10);
     let mut net = lenet5(&mut rng);
-    train(&mut net, &train_set, Some(&eval), &TrainConfig::default(), &mut rng);
-    let q = QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper())
-        .expect("LeNet-5 quantises");
+    train(&mut net, &train_set, Some(&eval), &config, &mut rng);
+    let q =
+        QuantizedNetwork::from_sequential(&net, &[1, 28, 28], quant).expect("LeNet-5 quantises");
     let _ = fs::write(&path, q.to_bytes());
     let acc = q.accuracy(test.iter());
     (q, acc)

@@ -1,0 +1,158 @@
+//! Machine-readable benchmark report (`BENCH_sweep.json`).
+//!
+//! A purpose-built writer — the workspace has no serde — producing a flat,
+//! stable JSON document the CI and the README's performance table can
+//! consume:
+//!
+//! ```json
+//! {
+//!   "schema": "deepstrike-bench-sweep/1",
+//!   "threads": 4,
+//!   "entries": [
+//!     { "name": "fig5b_slice/64pt", "serial_s": 41.2, "parallel_s": 11.8,
+//!       "speedup": 3.49 }
+//!   ]
+//! }
+//! ```
+//!
+//! Every metric is a finite `f64` (non-finite values are serialised as
+//! `null`, which keeps the document valid JSON); names are free-form
+//! strings and are escaped.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One benchmarked configuration: a name plus key/value metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepEntry {
+    name: String,
+    metrics: Vec<(&'static str, f64)>,
+}
+
+impl SweepEntry {
+    /// Starts an entry.
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepEntry { name: name.into(), metrics: Vec::new() }
+    }
+
+    /// Adds one metric (builder-style).
+    #[must_use]
+    pub fn metric(mut self, key: &'static str, value: f64) -> Self {
+        self.metrics.push((key, value));
+        self
+    }
+}
+
+/// The whole sweep report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepReport {
+    entries: Vec<SweepEntry>,
+}
+
+impl SweepReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        SweepReport::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: SweepEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Renders the document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"deepstrike-bench-sweep/1\",\n");
+        let _ = writeln!(out, "  \"threads\": {},", par::thread_count());
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let _ = writeln!(out, "  \"cores\": {cores},");
+        out.push_str("  \"entries\": [");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    { \"name\": ");
+            write_json_string(&mut out, &entry.name);
+            for &(key, value) in &entry.metrics {
+                out.push_str(", ");
+                write_json_string(&mut out, key);
+                out.push_str(": ");
+                write_json_number(&mut out, value);
+            }
+            out.push_str(" }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes the document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json_number(out: &mut String, value: f64) {
+    if value.is_finite() {
+        // `{}` prints the shortest representation that round-trips, which
+        // is valid JSON for every finite f64.
+        let _ = write!(out, "{value}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_entries_with_metrics() {
+        let mut report = SweepReport::new();
+        report.push(
+            SweepEntry::new("fig5b_slice/64pt").metric("serial_s", 41.25).metric("speedup", 3.5),
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"deepstrike-bench-sweep/1\""));
+        assert!(json.contains("\"name\": \"fig5b_slice/64pt\""));
+        assert!(json.contains("\"serial_s\": 41.25"));
+        assert!(json.contains("\"speedup\": 3.5"));
+    }
+
+    #[test]
+    fn escapes_names_and_nulls_non_finite() {
+        let mut report = SweepReport::new();
+        report.push(SweepEntry::new("quote\"back\\slash\n").metric("nan", f64::NAN));
+        let json = report.to_json();
+        assert!(json.contains("quote\\\"back\\\\slash\\u000a"));
+        assert!(json.contains("\"nan\": null"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let json = SweepReport::new().to_json();
+        assert!(json.contains("\"entries\": [\n  ]"));
+    }
+}

@@ -46,10 +46,7 @@ pub struct VictimProfile {
 impl VictimProfile {
     /// Window of a named layer.
     pub fn window(&self, name: &str) -> Option<(u64, u64)> {
-        self.layer_windows
-            .iter()
-            .find(|(n, _, _)| n == name)
-            .map(|(_, s, l)| (*s, *l))
+        self.layer_windows.iter().find(|(n, _, _)| n == name).map(|(_, s, l)| (*s, *l))
     }
 }
 
@@ -112,9 +109,8 @@ pub fn profile_victim(
 /// Returns [`DeepStrikeError::LayerNotFound`] for an unknown target, and
 /// [`DeepStrikeError::InvalidConfig`] if `strikes` cannot fit the window.
 pub fn plan_attack(profile: &VictimProfile, target: &str, strikes: u32) -> Result<AttackScheme> {
-    let (start, len) = profile
-        .window(target)
-        .ok_or_else(|| DeepStrikeError::LayerNotFound(target.to_string()))?;
+    let (start, len) =
+        profile.window(target).ok_or_else(|| DeepStrikeError::LayerNotFound(target.to_string()))?;
     if strikes == 0 {
         return Err(DeepStrikeError::InvalidConfig("at least one strike required".into()));
     }
@@ -189,12 +185,7 @@ pub fn plan_multi_attack(
 pub fn plan_blind(schedule: &Schedule, strikes: u32) -> AttackScheme {
     let total = schedule.total_cycles();
     let per_strike = (total / u64::from(strikes.max(1))).max(2);
-    AttackScheme {
-        delay_cycles: 0,
-        strikes,
-        strike_cycles: 1,
-        gap_cycles: (per_strike - 1) as u32,
-    }
+    AttackScheme { delay_cycles: 0, strikes, strike_cycles: 1, gap_cycles: (per_strike - 1) as u32 }
 }
 
 /// A [`MacHook`] that converts a recorded [`InferenceRun`] into per-op
@@ -228,9 +219,8 @@ impl<'a> StrikeHook<'a> {
         seed: u64,
     ) -> Self {
         // Stage i of the network maps to window i of the schedule.
-        let windows = (0..net.layers().len())
-            .map(|i| (i < schedule.windows().len()).then_some(i))
-            .collect();
+        let windows =
+            (0..net.layers().len()).map(|i| (i < schedule.windows().len()).then_some(i)).collect();
         let n = run.victim_voltage.len();
         let capture_voltage: Vec<f64> = (0..n)
             .map(|c| {
@@ -238,9 +228,8 @@ impl<'a> StrikeHook<'a> {
                 run.victim_voltage[cap]
             })
             .collect();
-        let in_flight_voltage = (0..n as u64)
-            .map(|c| run.min_voltage_in_flight(c, Self::LATENCY))
-            .collect();
+        let in_flight_voltage =
+            (0..n as u64).map(|c| run.min_voltage_in_flight(c, Self::LATENCY)).collect();
         let safe_voltage = fault_model.safe_voltage();
         let early_safe_voltage = fault_model.early_stage().safe_voltage();
         StrikeHook {
@@ -266,13 +255,11 @@ impl MacHook for StrikeHook<'_> {
             return MacFault::None;
         }
         let cycle = window.cycle_of_op(op_index) as usize;
-        let (v_capture, v_min) = match (
-            self.capture_voltage.get(cycle),
-            self.in_flight_voltage.get(cycle),
-        ) {
-            (Some(&a), Some(&b)) => (a, b),
-            _ => return MacFault::None,
-        };
+        let (v_capture, v_min) =
+            match (self.capture_voltage.get(cycle), self.in_flight_voltage.get(cycle)) {
+                (Some(&a), Some(&b)) => (a, b),
+                _ => return MacFault::None,
+            };
         // Fast path: nothing in the op's flight can violate timing.
         if v_capture >= self.safe_voltage && v_min >= self.early_safe_voltage {
             return MacFault::None;
@@ -285,8 +272,7 @@ impl MacHook for StrikeHook<'_> {
             StageKind::Dense => Self::DENSE_PATH_SCALE,
             _ => FaultModel::path_scale(i32::from(weight) * i32::from(activation)),
         };
-        self.fault_model
-            .sample_pipelined_scaled(v_capture, v_min, scale, &mut self.rng)
+        self.fault_model.sample_pipelined_scaled(v_capture, v_min, scale, &mut self.rng)
     }
 }
 
@@ -320,6 +306,12 @@ impl AttackOutcome {
 /// accelerator's schedule is static), so one co-simulated run prices the
 /// fault distribution and each image samples it independently — the
 /// statistical mode described in DESIGN.md §4.
+///
+/// Images are scored on the [`par`] worker pool: image `i` draws from an
+/// `StdRng` seeded by `par::seed_for(seed ^ 0xD5, i)` (and its
+/// [`StrikeHook`] from `seed + i`, as before), so the outcome is a pure
+/// function of `(inputs, seed)` — bit-identical at any thread count,
+/// including `DEEPSTRIKE_THREADS=1`.
 pub fn evaluate_attack<'a>(
     net: &QuantizedNetwork,
     schedule: &Schedule,
@@ -328,31 +320,36 @@ pub fn evaluate_attack<'a>(
     fault_model: FaultModel,
     seed: u64,
 ) -> AttackOutcome {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD5);
-    let mut total = 0usize;
-    let mut clean_correct = 0usize;
-    let mut attacked_correct = 0usize;
-    let mut dup_sum = 0u64;
-    let mut rand_sum = 0u64;
-    for (i, (x, y)) in samples.enumerate() {
-        total += 1;
-        if net.predict(x) == y {
-            clean_correct += 1;
-        }
-        let mut hook = StrikeHook::new(net, schedule, run, fault_model, seed.wrapping_add(i as u64));
-        let (logits, tally) = infer_with_faults(net, x, &mut hook, &mut rng);
-        dup_sum += tally.duplicate;
-        rand_sum += tally.random;
+    let samples: Vec<(&Tensor, usize)> = samples.collect();
+    struct ImageScore {
+        clean_ok: bool,
+        attacked_ok: bool,
+        duplicate: u64,
+        random: u64,
+    }
+    let scores = par::map_seeded(samples.len(), seed ^ 0xD5, |i, rng| {
+        let (x, y) = samples[i];
+        let mut hook =
+            StrikeHook::new(net, schedule, run, fault_model, seed.wrapping_add(i as u64));
+        let (logits, tally) = infer_with_faults(net, x, &mut hook, rng);
         let predicted = logits
             .iter()
             .enumerate()
             .max_by_key(|(k, &v)| (v, std::cmp::Reverse(*k)))
             .map(|(k, _)| k)
             .expect("non-empty logits");
-        if predicted == y {
-            attacked_correct += 1;
+        ImageScore {
+            clean_ok: net.predict(x) == y,
+            attacked_ok: predicted == y,
+            duplicate: tally.duplicate,
+            random: tally.random,
         }
-    }
+    });
+    let total = scores.len();
+    let clean_correct = scores.iter().filter(|s| s.clean_ok).count();
+    let attacked_correct = scores.iter().filter(|s| s.attacked_ok).count();
+    let dup_sum: u64 = scores.iter().map(|s| s.duplicate).sum();
+    let rand_sum: u64 = scores.iter().map(|s| s.random).sum();
     let denom = total.max(1) as f64;
     AttackOutcome {
         clean_accuracy: clean_correct as f64 / denom,
@@ -367,8 +364,8 @@ pub fn evaluate_attack<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use accel::schedule::AccelConfig;
     use crate::cosim::CosimConfig;
+    use accel::schedule::AccelConfig;
     use dnn::digits::{Dataset, RenderParams};
     use dnn::fixed::QFormat;
     use dnn::zoo::mlp;
@@ -437,11 +434,8 @@ mod tests {
         let run = fpga.run_inference();
         assert_eq!(run.strike_cycles.len(), 40);
         let w = fpga.schedule().window("fc1").unwrap();
-        let inside = run
-            .strike_cycles
-            .iter()
-            .filter(|&&c| c >= w.start_cycle && c < w.end_cycle())
-            .count();
+        let inside =
+            run.strike_cycles.iter().filter(|&&c| c >= w.start_cycle && c < w.end_cycle()).count();
         assert!(
             inside as f64 >= 0.8 * 40.0,
             "only {inside}/40 strikes landed in fc1 ({}..{})",
@@ -502,7 +496,7 @@ mod tests {
 
         // And the guided strikes actually cause faults in the evaluation.
         let mut rng = StdRng::seed_from_u64(77);
-        let images = Dataset::generate(20, &RenderParams::default(), &mut rng);
+        let images = Dataset::generate(80, &RenderParams::default(), &mut rng);
         let guided = evaluate_attack(
             &q,
             fpga.schedule(),
@@ -511,8 +505,21 @@ mod tests {
             FaultModel::paper(),
             1,
         );
-        assert!(guided.mean_faults_per_image > 0.0);
-        assert!(guided.attacked_accuracy <= guided.clean_accuracy + 1e-9);
+        // The victim here is an *untrained* random MLP (clean accuracy sits
+        // at the 10-class chance level), so "attacked ≤ clean" would be a
+        // coin flip — the accuracy-drop claim is tested on trained LeNet in
+        // the fig5b bench. What must hold here: guided strikes fault the
+        // target layer heavily, and the faulted accuracy stays at chance.
+        assert!(
+            guided.mean_faults_per_image > 10.0,
+            "guided strikes must fault the window heavily: {} faults/img",
+            guided.mean_faults_per_image
+        );
+        assert!(
+            guided.attacked_accuracy < 0.35,
+            "faulted random net must stay near chance: {}",
+            guided.attacked_accuracy
+        );
     }
 
     #[test]

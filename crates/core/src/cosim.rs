@@ -108,6 +108,11 @@ impl InferenceRun {
 }
 
 /// The prototyped multi-tenant cloud FPGA.
+///
+/// `Clone` snapshots the whole platform state; campaign drivers clone one
+/// profiled instance per sweep point so points can run on the worker pool
+/// without sharing mutable state.
+#[derive(Clone)]
 pub struct CloudFpga {
     config: CosimConfig,
     schedule: Schedule,
@@ -147,10 +152,10 @@ impl CloudFpga {
         config: CosimConfig,
     ) -> Result<Self> {
         let schedule = Schedule::for_network(victim, accel_config);
-        let pdn = SpatialPdn::new(LumpedPdn::zynq_like(), GridParams {
-            sweeps: config.relax_sweeps,
-            ..GridParams::default()
-        })?;
+        let pdn = SpatialPdn::new(
+            LumpedPdn::zynq_like(),
+            GridParams { sweeps: config.relax_sweeps, ..GridParams::default() },
+        )?;
         let victim_node = pdn.node_at_fraction(config.victim_pos.0, config.victim_pos.1);
         let attacker_node = pdn.node_at_fraction(config.attacker_pos.0, config.attacker_pos.1);
         let tdc = TdcSensor::calibrated(TdcConfig::default(), 100.0, config.tdc_target)?;
@@ -248,18 +253,12 @@ impl CloudFpga {
                 strike_cycles.push(cycle);
             }
             // Inject all loads at their mesh nodes.
-            self.pdn
-                .inject(self.victim_node, i_victim)
-                .expect("victim node is on the mesh");
-            let v_att_now = self
-                .pdn
-                .voltage_at(self.attacker_node)
-                .expect("attacker node is on the mesh");
+            self.pdn.inject(self.victim_node, i_victim).expect("victim node is on the mesh");
+            let v_att_now =
+                self.pdn.voltage_at(self.attacker_node).expect("attacker node is on the mesh");
             self.striker.set_enabled(enable);
             let i_striker = self.striker.current_a(v_att_now);
-            self.pdn
-                .inject(self.attacker_node, i_striker)
-                .expect("attacker node is on the mesh");
+            self.pdn.inject(self.attacker_node, i_striker).expect("attacker node is on the mesh");
             for (k, b) in self.bystanders.iter().enumerate() {
                 let on = (cycle / (b.period_cycles / 2).max(1)) % 2 == 0;
                 let node = self.pdn.node_at_fraction(b.pos.0, b.pos.1);
@@ -273,10 +272,7 @@ impl CloudFpga {
             let mut v_victim_min = f64::INFINITY;
             for s in 0..substeps {
                 self.pdn.step(dt);
-                let vv = self
-                    .pdn
-                    .voltage_at(self.victim_node)
-                    .expect("victim node is on the mesh");
+                let vv = self.pdn.voltage_at(self.victim_node).expect("victim node is on the mesh");
                 v_victim_min = v_victim_min.min(vv);
                 if (s + 1) % tdc_every == 0 {
                     let va = self
@@ -295,10 +291,7 @@ impl CloudFpga {
             victim_voltage.push(v_victim_min);
 
             // Thermal integration (victim + striker dissipation).
-            let v_now = self
-                .pdn
-                .voltage_at(self.victim_node)
-                .expect("victim node is on the mesh");
+            let v_now = self.pdn.voltage_at(self.victim_node).expect("victim node is on the mesh");
             let power = i_victim * v_now + self.striker.power_w(v_now);
             self.thermal.step(power, dt * substeps as f64);
         }
@@ -346,11 +339,8 @@ mod tests {
     fn small_platform(striker_cells: usize) -> CloudFpga {
         let net = mlp(&mut StdRng::seed_from_u64(0));
         let q = QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper()).unwrap();
-        let accel = AccelConfig {
-            weight_bandwidth: 16,
-            stall_cycles: 150,
-            ..AccelConfig::default()
-        };
+        let accel =
+            AccelConfig { weight_bandwidth: 16, stall_cycles: 150, ..AccelConfig::default() };
         let mut fpga = CloudFpga::new(
             &q,
             &accel,
@@ -379,11 +369,8 @@ mod tests {
         let w = fpga.schedule().window("fc1").unwrap();
         // TDC samples at 2 per cycle.
         let mid = (w.start_cycle + w.cycles / 2) as usize * 2;
-        let exec_mean = run.tdc_trace[mid..mid + 200]
-            .iter()
-            .map(|&v| f64::from(v))
-            .sum::<f64>()
-            / 200.0;
+        let exec_mean =
+            run.tdc_trace[mid..mid + 200].iter().map(|&v| f64::from(v)).sum::<f64>() / 200.0;
         assert!(exec_mean < 86.0, "execution should droop the readout: {exec_mean}");
     }
 
@@ -514,9 +501,8 @@ mod tests {
         let mut busy = small_platform(8_000);
         busy.add_bystander(Bystander { pos: (0.5, 0.2), amps: 1.0, period_cycles: 64 });
         let busy_run = busy.run_inference();
-        let mean = |r: &InferenceRun| {
-            r.victim_voltage.iter().sum::<f64>() / r.victim_voltage.len() as f64
-        };
+        let mean =
+            |r: &InferenceRun| r.victim_voltage.iter().sum::<f64>() / r.victim_voltage.len() as f64;
         assert!(mean(&busy_run) < mean(&quiet_run), "third tenant must add droop");
     }
 }

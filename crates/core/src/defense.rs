@@ -143,11 +143,7 @@ impl GlitchWatchdog {
         if dropped {
             self.consecutive += 1;
             if self.consecutive >= self.config.debounce {
-                self.events.push(GlitchEvent {
-                    sample: self.samples_seen - 1,
-                    readout,
-                    baseline,
-                });
+                self.events.push(GlitchEvent { sample: self.samples_seen - 1, readout, baseline });
                 self.consecutive = 0;
                 self.cooldown = self.config.window * 2;
                 return true;

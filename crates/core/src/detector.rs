@@ -88,7 +88,12 @@ impl StartDetector {
         if config.debounce == 0 {
             return Err(DeepStrikeError::InvalidConfig("debounce must be at least 1".into()));
         }
-        Ok(StartDetector { config, state: DetectorState::Idle, samples_seen: 0, triggered_at: None })
+        Ok(StartDetector {
+            config,
+            state: DetectorState::Idle,
+            samples_seen: 0,
+            triggered_at: None,
+        })
     }
 
     /// Configuration in use.

@@ -10,8 +10,8 @@
 
 use accel::schedule::AccelConfig;
 use fpga_fabric::bitstream::{combine_with, Bitstream, TenantDesign};
-use fpga_fabric::drc::DrcPolicy;
 use fpga_fabric::device::Device;
+use fpga_fabric::drc::DrcPolicy;
 use fpga_fabric::floorplan::Region;
 use fpga_fabric::netlist::Netlist;
 use fpga_fabric::primitive::PrimitiveKind;
@@ -131,8 +131,7 @@ mod tests {
     fn paper_deployment_fits_and_passes_drc() {
         let device = Device::zynq_7020();
         let striker = StrikerBank::new(8_000).unwrap();
-        let deployment =
-            deploy(&device, &AccelConfig::default(), &striker, &tdc()).unwrap();
+        let deployment = deploy(&device, &AccelConfig::default(), &striker, &tdc()).unwrap();
         assert!(deployment.tenant_distance > 0.4, "tenants must be far apart");
         let usage = deployment.bitstream.total_usage();
         assert!(usage.dsp >= 8, "victim DSP array present");

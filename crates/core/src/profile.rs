@@ -97,10 +97,7 @@ pub fn segment_trace(samples: &[u8], config: &SegmenterConfig) -> Vec<Segment> {
         .map(|(s, e)| {
             let window = &samples[s..e];
             let mean = window.iter().map(|&v| f64::from(v)).sum::<f64>() / window.len() as f64;
-            let variance = window
-                .iter()
-                .map(|&v| (f64::from(v) - mean).powi(2))
-                .sum::<f64>()
+            let variance = window.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>()
                 / window.len() as f64;
             let min = window.iter().copied().min().expect("non-empty window");
             Segment { start: s, len: e - s, mean, variance, min }
@@ -183,7 +180,7 @@ impl SignatureLibrary {
             let d_var =
                 ((segment.variance.sqrt()) - sig.variance.sqrt()) / sig.variance.sqrt().max(0.5);
             let dist = (d_dur.powi(2) + (4.0 * d_mean).powi(2) + d_var.powi(2)).sqrt();
-            if best.map_or(true, |(_, b)| dist < b) {
+            if best.is_none_or(|(_, b)| dist < b) {
                 best = Some((sig.name.as_str(), dist));
             }
         }
@@ -272,14 +269,8 @@ mod tests {
     #[test]
     fn classification_separates_conv_from_pool() {
         let mut lib = SignatureLibrary::new();
-        lib.learn(
-            "conv",
-            &Segment { start: 0, len: 300, mean: 70.0, variance: 10.0, min: 58 },
-        );
-        lib.learn(
-            "pool",
-            &Segment { start: 0, len: 100, mean: 82.0, variance: 1.0, min: 79 },
-        );
+        lib.learn("conv", &Segment { start: 0, len: 300, mean: 70.0, variance: 10.0, min: 58 });
+        lib.learn("pool", &Segment { start: 0, len: 100, mean: 82.0, variance: 1.0, min: 79 });
         let probe = Segment { start: 500, len: 280, mean: 71.0, variance: 8.0, min: 60 };
         let (name, dist) = lib.classify(&probe).unwrap();
         assert_eq!(name, "conv");

@@ -37,17 +37,16 @@ impl AttackScheme {
     /// Total length of the compiled bit vector.
     pub fn total_bits(&self) -> usize {
         self.delay_cycles as usize
-            + self.strikes as usize
-                * (self.strike_cycles as usize + self.gap_cycles as usize)
+            + self.strikes as usize * (self.strike_cycles as usize + self.gap_cycles as usize)
     }
 
     /// Compiles to the per-cycle enable bits.
     pub fn to_bits(&self) -> Vec<bool> {
         let mut bits = Vec::with_capacity(self.total_bits());
-        bits.extend(std::iter::repeat(false).take(self.delay_cycles as usize));
+        bits.extend(std::iter::repeat_n(false, self.delay_cycles as usize));
         for _ in 0..self.strikes {
-            bits.extend(std::iter::repeat(true).take(self.strike_cycles as usize));
-            bits.extend(std::iter::repeat(false).take(self.gap_cycles as usize));
+            bits.extend(std::iter::repeat_n(true, self.strike_cycles as usize));
+            bits.extend(std::iter::repeat_n(false, self.gap_cycles as usize));
         }
         bits
     }
@@ -155,7 +154,7 @@ impl SchemeProgram {
     /// Returns [`DeepStrikeError::MalformedScheme`] unless the length is a
     /// positive multiple of 16.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        if bytes.is_empty() || bytes.len() % 16 != 0 {
+        if bytes.is_empty() || !bytes.len().is_multiple_of(16) {
             return Err(DeepStrikeError::MalformedScheme(format!(
                 "program length {} is not a positive multiple of 16",
                 bytes.len()
@@ -306,10 +305,7 @@ mod tests {
         let s = AttackScheme { delay_cycles: 3, strikes: 2, strike_cycles: 2, gap_cycles: 1 };
         assert_eq!(s.total_bits(), 3 + 2 * 3);
         let bits = s.to_bits();
-        assert_eq!(
-            bits,
-            vec![false, false, false, true, true, false, true, true, false]
-        );
+        assert_eq!(bits, vec![false, false, false, true, true, false, true, true, false]);
         assert_eq!(bits.len(), s.total_bits());
     }
 
@@ -363,17 +359,12 @@ mod tests {
 
     #[test]
     fn strike_count_matches_played_ones() {
-        let scheme =
-            AttackScheme { delay_cycles: 10, strikes: 7, strike_cycles: 3, gap_cycles: 2 };
+        let scheme = AttackScheme { delay_cycles: 10, strikes: 7, strike_cycles: 3, gap_cycles: 2 };
         let ones = scheme.to_bits().iter().filter(|&&b| b).count();
         assert_eq!(ones, 21);
         // Rising edges = number of strikes.
         let bits = scheme.to_bits();
-        let rises = bits
-            .windows(2)
-            .filter(|w| !w[0] && w[1])
-            .count()
-            + usize::from(bits[0]);
+        let rises = bits.windows(2).filter(|w| !w[0] && w[1]).count() + usize::from(bits[0]);
         assert_eq!(rises, 7);
     }
 

@@ -240,8 +240,10 @@ mod tests {
         bank.set_enabled(false);
         bank.set_enabled(true);
         assert_eq!(bank.activations(), 2);
-        assert_eq!(StrikerBank::new(0).unwrap_err(),
-            DeepStrikeError::InvalidConfig("striker bank needs cells".into()));
+        assert_eq!(
+            StrikerBank::new(0).unwrap_err(),
+            DeepStrikeError::InvalidConfig("striker bank needs cells".into())
+        );
     }
 
     #[test]

@@ -114,8 +114,8 @@ impl TdcSensor {
         // Analytic seed: θ_ps such that the edge reaches `target_count`
         // stages at nominal voltage, then a local search over the phase
         // grid to absorb MMCM quantisation.
-        let ideal_ps = Self::lut_delay_ps(&config) * 1.0
-            + target_count as f64 * Carry4::per_stage_delay_ps();
+        let ideal_ps =
+            Self::lut_delay_ps(&config) * 1.0 + target_count as f64 * Carry4::per_stage_delay_ps();
         let period_ps = 1.0e6 / config.f_dr_mhz;
         let seed_deg = ideal_ps / period_ps * 360.0;
         let mut best: Option<(f64, i32)> = None;
@@ -128,7 +128,7 @@ impl TdcSensor {
             probe.config.dither_stages = 0.0;
             let got = i32::from(probe.sample(probe.delay_model.v_nom).count);
             let err = (got - i32::from(target_count)).abs();
-            if best.map_or(true, |(_, e)| err < e) {
+            if best.is_none_or(|(_, e)| err < e) {
                 best = Some((theta, err));
             }
         }
@@ -220,8 +220,7 @@ impl TdcSensor {
             }
             for tap in 0..4 {
                 let ff = n.add_cell(&format!("cap{i}_{tap}"), PrimitiveKind::Fdre, None);
-                n.connect(n.output_pin(c, 4 + tap as u8), n.input_of(ff, 0))
-                    .expect("fresh pins");
+                n.connect(n.output_pin(c, 4 + tap as u8), n.input_of(ff, 0)).expect("fresh pins");
             }
             prev_carry = Some(c);
         }

@@ -54,10 +54,7 @@ fn skeleton(digit: usize) -> Vec<Vec<Point>> {
             (0.62, 0.86),
             (0.28, 0.85),
         ]],
-        4 => vec![
-            vec![(0.6, 0.1), (0.25, 0.6), (0.78, 0.6)],
-            vec![(0.6, 0.1), (0.6, 0.9)],
-        ],
+        4 => vec![vec![(0.6, 0.1), (0.25, 0.6), (0.78, 0.6)], vec![(0.6, 0.1), (0.6, 0.9)]],
         5 => vec![vec![
             (0.72, 0.12),
             (0.3, 0.12),
@@ -67,18 +64,10 @@ fn skeleton(digit: usize) -> Vec<Vec<Point>> {
             (0.66, 0.85),
             (0.28, 0.86),
         ]],
-        6 => vec![
-            vec![(0.62, 0.1), (0.4, 0.3), (0.3, 0.55)],
-            ellipse(0.5, 0.68, 0.22, 0.2),
-        ],
-        7 => vec![
-            vec![(0.25, 0.14), (0.75, 0.14), (0.45, 0.9)],
-        ],
+        6 => vec![vec![(0.62, 0.1), (0.4, 0.3), (0.3, 0.55)], ellipse(0.5, 0.68, 0.22, 0.2)],
+        7 => vec![vec![(0.25, 0.14), (0.75, 0.14), (0.45, 0.9)]],
         8 => vec![ellipse(0.5, 0.3, 0.2, 0.18), ellipse(0.5, 0.68, 0.24, 0.2)],
-        9 => vec![
-            ellipse(0.5, 0.32, 0.22, 0.2),
-            vec![(0.7, 0.35), (0.66, 0.6), (0.55, 0.9)],
-        ],
+        9 => vec![ellipse(0.5, 0.32, 0.22, 0.2), vec![(0.7, 0.35), (0.66, 0.6), (0.55, 0.9)]],
         _ => panic!("digit {digit} out of range"),
     }
 }

@@ -54,9 +54,8 @@ impl Conv2d {
         let fan_in = (in_channels * kernel * kernel) as f32;
         let bound = (2.0 / fan_in).sqrt();
         let w_shape = [out_channels, in_channels, kernel, kernel];
-        let data: Vec<f32> = (0..w_shape.iter().product::<usize>())
-            .map(|_| rng.gen_range(-bound..bound))
-            .collect();
+        let data: Vec<f32> =
+            (0..w_shape.iter().product::<usize>()).map(|_| rng.gen_range(-bound..bound)).collect();
         Conv2d {
             name: name.to_string(),
             in_channels,
@@ -86,22 +85,31 @@ impl Conv2d {
     pub fn kernel(&self) -> usize {
         self.kernel
     }
-}
 
-impl Layer for Conv2d {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn kind(&self) -> LayerKind {
-        LayerKind::Conv {
-            in_channels: self.in_channels,
-            out_channels: self.out_channels,
-            kernel: self.kernel,
+    /// Patch offsets into the input for the kernel taps, in the same
+    /// `(ic, ky, kx)` order the naive loop nest walks: the tap at flat
+    /// index `j` reads `input[offsets[j] + oy * w + ox]` for output pixel
+    /// `(oy, ox)`.
+    fn patch_offsets(&self, h: usize, w: usize) -> Vec<usize> {
+        let k = self.kernel;
+        let mut offsets = Vec::with_capacity(self.in_channels * k * k);
+        for ic in 0..self.in_channels {
+            for ky in 0..k {
+                for kx in 0..k {
+                    offsets.push(ic * h * w + ky * w + kx);
+                }
+            }
         }
+        offsets
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    /// Reference forward pass: the original 7-deep scalar loop nest.
+    ///
+    /// Kept as the exactness oracle for the im2col fast path — the fast
+    /// [`Layer::forward`] accumulates in the same `(ic, ky, kx)` order, so
+    /// the two must agree **bit-for-bit** on every input
+    /// (`tests/par_determinism.rs` asserts this).
+    pub fn forward_naive(&mut self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape()[0], self.in_channels, "channel mismatch");
         let (h, w) = (input.shape()[1], input.shape()[2]);
         let (oh, ow) = self.output_hw(h, w);
@@ -134,7 +142,14 @@ impl Layer for Conv2d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    /// Reference backward pass matching [`Conv2d::forward_naive`] — the
+    /// exactness oracle for the flat-slice fast path in
+    /// [`Layer::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a forward pass.
+    pub fn backward_naive(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
         let (h, w) = (input.shape()[1], input.shape()[2]);
         let (oh, ow) = (grad_out.shape()[1], grad_out.shape()[2]);
@@ -167,6 +182,136 @@ impl Layer for Conv2d {
                                 }
                             }
                         }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv {
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+        }
+    }
+
+    /// im2col + register-blocked matmul fast path.
+    ///
+    /// Lowers every input patch to a contiguous column in `(ic, ky, kx)`
+    /// order, then computes each output as one flat dot product walked in
+    /// that same order — the identical sequence of float operations as
+    /// [`Conv2d::forward_naive`], so outputs are bit-identical while the
+    /// per-element index arithmetic and bounds checks of the 7-deep loop
+    /// nest disappear.
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape()[0], self.in_channels, "channel mismatch");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = self.output_hw(h, w);
+        let k = self.kernel;
+        let j_len = self.in_channels * k * k;
+        let p_len = oh * ow;
+        let in_data = input.data();
+
+        // im2col: col[p * j_len + j] = input patch value for tap j of
+        // output pixel p, taps ordered (ic, ky, kx).
+        let mut col = vec![0.0f32; p_len * j_len];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let dst = &mut col[(oy * ow + ox) * j_len..][..j_len];
+                let mut j = 0;
+                for ic in 0..self.in_channels {
+                    let base = ic * h * w + oy * w + ox;
+                    for ky in 0..k {
+                        dst[j..j + k].copy_from_slice(&in_data[base + ky * w..][..k]);
+                        j += k;
+                    }
+                }
+            }
+        }
+
+        let mut out = Tensor::zeros(&[self.out_channels, oh, ow]);
+        let w_data = self.weights.data();
+        let out_data = out.data_mut();
+        for oc in 0..self.out_channels {
+            let w_row = &w_data[oc * j_len..][..j_len];
+            let b = self.bias.data()[oc];
+            let out_row = &mut out_data[oc * p_len..][..p_len];
+            // Four pixels per pass share each weight load; the four
+            // accumulators stay independent, preserving per-output order.
+            let mut chunks = out_row.chunks_exact_mut(4);
+            let mut p = 0;
+            for quad in &mut chunks {
+                let (c0, rest) = col[p * j_len..].split_at(j_len);
+                let (c1, rest) = rest.split_at(j_len);
+                let (c2, rest) = rest.split_at(j_len);
+                let c3 = &rest[..j_len];
+                let (mut a0, mut a1, mut a2, mut a3) = (b, b, b, b);
+                for j in 0..j_len {
+                    let wj = w_row[j];
+                    a0 += wj * c0[j];
+                    a1 += wj * c1[j];
+                    a2 += wj * c2[j];
+                    a3 += wj * c3[j];
+                }
+                quad.copy_from_slice(&[a0, a1, a2, a3]);
+                p += 4;
+            }
+            for (slot, pc) in chunks.into_remainder().iter_mut().zip(p..p_len) {
+                let cp = &col[pc * j_len..][..j_len];
+                let mut acc = b;
+                for j in 0..j_len {
+                    acc += w_row[j] * cp[j];
+                }
+                *slot = acc;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    /// Flat-slice fast path over a precomputed tap-offset table.
+    ///
+    /// Walks the same `(oc, pixel, (ic, ky, kx))` order as
+    /// [`Conv2d::backward_naive`] — every `+=` into `grad_w`, `grad_b`
+    /// and `grad_in` happens in the identical sequence, so gradients are
+    /// bit-identical — but the inner loop is a single flat scan instead
+    /// of a 4-deep nest of recomputed indices.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = (grad_out.shape()[1], grad_out.shape()[2]);
+        let j_len = self.in_channels * self.kernel * self.kernel;
+        let offsets = self.patch_offsets(h, w);
+        let mut grad_in = Tensor::zeros(&[self.in_channels, h, w]);
+        let in_data = input.data();
+        let go = grad_out.data();
+        let w_data = self.weights.data();
+        let gw = self.grad_w.data_mut();
+        let gb = self.grad_b.data_mut();
+        let gi = grad_in.data_mut();
+        for oc in 0..self.out_channels {
+            let w_row = &w_data[oc * j_len..][..j_len];
+            let gw_row = &mut gw[oc * j_len..][..j_len];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = go[(oc * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    gb[oc] += g;
+                    let p_off = oy * w + ox;
+                    for (j, &off) in offsets.iter().enumerate() {
+                        let idx = off + p_off;
+                        gw_row[j] += g * in_data[idx];
+                        gi[idx] += g * w_row[j];
                     }
                 }
             }
@@ -306,6 +451,46 @@ mod tests {
         let after = conv.params().unwrap().weights;
         assert_ne!(before.data(), after.data());
         assert!(conv.grad_w.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_to_naive() {
+        for (ic, oc, k, h, w) in
+            [(1, 6, 5, 28, 28), (6, 16, 5, 12, 12), (3, 4, 3, 7, 9), (2, 3, 1, 5, 5)]
+        {
+            let mut conv = Conv2d::new("c", ic, oc, k, &mut rng());
+            let mut r = rng();
+            let input = Tensor::from_vec(
+                (0..ic * h * w).map(|_| r.gen_range(-2.0f32..2.0)).collect(),
+                &[ic, h, w],
+            );
+            let fast = conv.forward(&input);
+            let naive = conv.forward_naive(&input);
+            assert_eq!(fast.shape(), naive.shape());
+            assert_eq!(fast.data(), naive.data(), "ic={ic} oc={oc} k={k}");
+        }
+    }
+
+    #[test]
+    fn fast_backward_is_bit_identical_to_naive() {
+        for (ic, oc, k, h, w) in [(1, 6, 5, 14, 14), (6, 16, 5, 12, 12), (3, 4, 3, 7, 9)] {
+            let mut fast = Conv2d::new("c", ic, oc, k, &mut rng());
+            let mut naive = fast.clone();
+            let mut r = rng();
+            let input = Tensor::from_vec(
+                (0..ic * h * w).map(|_| r.gen_range(-2.0f32..2.0)).collect(),
+                &[ic, h, w],
+            );
+            let out = fast.forward(&input);
+            naive.forward_naive(&input);
+            // Zero some upstream gradients to exercise the skip path.
+            let grad_out = out.map(|v| if v > 0.5 { 0.0 } else { v });
+            let gi_fast = fast.backward(&grad_out);
+            let gi_naive = naive.backward_naive(&grad_out);
+            assert_eq!(gi_fast.data(), gi_naive.data(), "grad_in ic={ic} oc={oc} k={k}");
+            assert_eq!(fast.grad_w.data(), naive.grad_w.data(), "grad_w");
+            assert_eq!(fast.grad_b.data(), naive.grad_b.data(), "grad_b");
+        }
     }
 
     #[test]

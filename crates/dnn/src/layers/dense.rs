@@ -44,8 +44,7 @@ impl Dense {
     pub fn new(name: &str, inputs: usize, outputs: usize, rng: &mut impl Rng) -> Self {
         assert!(inputs > 0 && outputs > 0);
         let bound = (2.0 / inputs as f32).sqrt();
-        let data: Vec<f32> =
-            (0..inputs * outputs).map(|_| rng.gen_range(-bound..bound)).collect();
+        let data: Vec<f32> = (0..inputs * outputs).map(|_| rng.gen_range(-bound..bound)).collect();
         Dense {
             name: name.to_string(),
             inputs,

@@ -64,10 +64,7 @@ mod tests {
     fn structure_matches_paper() {
         let net = lenet5(&mut StdRng::seed_from_u64(0));
         let kinds = net.kinds();
-        assert!(matches!(
-            kinds[0],
-            LayerKind::Conv { in_channels: 1, out_channels: 6, kernel: 5 }
-        ));
+        assert!(matches!(kinds[0], LayerKind::Conv { in_channels: 1, out_channels: 6, kernel: 5 }));
         assert!(matches!(kinds[2], LayerKind::MaxPool { window: 2 }));
         assert!(matches!(
             kinds[3],

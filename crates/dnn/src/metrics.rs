@@ -84,7 +84,7 @@ impl ConfusionMatrix {
                     continue;
                 }
                 let c = self.count(t, p);
-                if c > 0 && best.map_or(true, |(_, _, bc)| c > bc) {
+                if c > 0 && best.is_none_or(|(_, _, bc)| c > bc) {
                     best = Some((t, p, c));
                 }
             }
@@ -95,7 +95,12 @@ impl ConfusionMatrix {
 
 impl std::fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "confusion matrix ({} classes, acc {:.2}%)", self.classes, self.accuracy() * 100.0)?;
+        writeln!(
+            f,
+            "confusion matrix ({} classes, acc {:.2}%)",
+            self.classes,
+            self.accuracy() * 100.0
+        )?;
         for t in 0..self.classes {
             write!(f, "  {t}: ")?;
             for p in 0..self.classes {

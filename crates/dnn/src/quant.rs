@@ -179,7 +179,11 @@ impl QuantizedNetwork {
                         kernel,
                         weights: quant_w(&p.weights),
                         bias: quant_b(&p.bias),
-                        activation: if followed_by_tanh { Activation::Tanh } else { Activation::None },
+                        activation: if followed_by_tanh {
+                            Activation::Tanh
+                        } else {
+                            Activation::None
+                        },
                     }));
                     i += if followed_by_tanh { 2 } else { 1 };
                 }
@@ -196,7 +200,11 @@ impl QuantizedNetwork {
                         outputs,
                         weights: quant_w(&p.weights),
                         bias: quant_b(&p.bias),
-                        activation: if followed_by_tanh { Activation::Tanh } else { Activation::None },
+                        activation: if followed_by_tanh {
+                            Activation::Tanh
+                        } else {
+                            Activation::None
+                        },
                     }));
                     i += if followed_by_tanh { 2 } else { 1 };
                 }
@@ -244,11 +252,7 @@ impl QuantizedNetwork {
         assert_eq!(input.shape(), self.input_shape.as_slice(), "input shape mismatch");
         CodeMap {
             shape: input.shape().to_vec(),
-            codes: input
-                .data()
-                .iter()
-                .map(|&v| self.format.quantize(v).code() as i8)
-                .collect(),
+            codes: input.data().iter().map(|&v| self.format.quantize(v).code() as i8).collect(),
         }
     }
 
@@ -301,13 +305,13 @@ impl QuantizedNetwork {
     fn run_dense(&self, d: &QDense, input: &CodeMap) -> CodeMap {
         assert_eq!(input.codes.len(), d.inputs, "dense input size");
         let mut codes = vec![0i8; d.outputs];
-        for o in 0..d.outputs {
+        for (o, code) in codes.iter_mut().enumerate() {
             let mut acc: i32 = d.bias[o];
             let row = &d.weights[o * d.inputs..(o + 1) * d.inputs];
             for (wv, xv) in row.iter().zip(&input.codes) {
                 acc += i32::from(*wv) * i32::from(*xv);
             }
-            codes[o] = self.finish(acc, d.activation);
+            *code = self.finish(acc, d.activation);
         }
         CodeMap { shape: vec![d.outputs], codes }
     }
@@ -612,9 +616,7 @@ impl<'a> Reader<'a> {
             return Err(QuantError::MalformedModel("blob too long".into()));
         }
         let b = self.take(n * 4)?;
-        Ok(b.chunks_exact(4)
-            .map(|c| i32::from_le_bytes(c.try_into().expect("len 4")))
-            .collect())
+        Ok(b.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().expect("len 4"))).collect())
     }
 }
 
@@ -654,11 +656,8 @@ mod tests {
     fn quantized_agrees_with_float_on_most_predictions() {
         let (mut net, q) = quantized_lenet(7);
         let mut rng = StdRng::seed_from_u64(123);
-        let ds = crate::digits::Dataset::generate(
-            40,
-            &crate::digits::RenderParams::default(),
-            &mut rng,
-        );
+        let ds =
+            crate::digits::Dataset::generate(40, &crate::digits::RenderParams::default(), &mut rng);
         let mut agree = 0usize;
         for (x, _) in ds.iter() {
             if net.predict(x) == q.predict(x) {
@@ -724,11 +723,8 @@ mod tests {
     fn accuracy_counts() {
         let (_, q) = quantized_lenet(3);
         let mut rng = StdRng::seed_from_u64(4);
-        let ds = crate::digits::Dataset::generate(
-            20,
-            &crate::digits::RenderParams::default(),
-            &mut rng,
-        );
+        let ds =
+            crate::digits::Dataset::generate(20, &crate::digits::RenderParams::default(), &mut rng);
         let acc = q.accuracy(ds.iter());
         assert!((0.0..=1.0).contains(&acc));
         assert_eq!(q.accuracy(std::iter::empty()), 0.0);

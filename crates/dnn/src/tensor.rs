@@ -173,13 +173,10 @@ impl Tensor {
 
     /// Largest element and its flat index (`None` when empty).
     pub fn argmax(&self) -> Option<(usize, f32)> {
-        self.data
-            .iter()
-            .enumerate()
-            .fold(None, |best, (i, &v)| match best {
-                Some((_, bv)) if bv >= v => best,
-                _ => Some((i, v)),
-            })
+        self.data.iter().enumerate().fold(None, |best, (i, &v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((i, v)),
+        })
     }
 
     /// Dot product of two equally shaped tensors viewed flat.

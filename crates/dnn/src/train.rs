@@ -114,11 +114,8 @@ mod tests {
         let mut ds = Dataset::generate(220, &RenderParams::default(), &mut rng);
         let test = ds.split_off(40);
         let mut net = small_mlp(&mut rng);
-        let config = TrainConfig {
-            epochs: 8,
-            batch_size: 8,
-            sgd: SgdConfig { lr: 0.1, momentum: 0.9 },
-        };
+        let config =
+            TrainConfig { epochs: 8, batch_size: 8, sgd: SgdConfig { lr: 0.1, momentum: 0.9 } };
         let history = train(&mut net, &ds, Some(&test), &config, &mut rng);
         assert_eq!(history.len(), 8);
         let first = history.first().unwrap().mean_loss;
@@ -159,10 +156,7 @@ mod tests {
             let ds = Dataset::generate(60, &RenderParams::default(), &mut rng);
             let mut net = small_mlp(&mut rng);
             let config = TrainConfig { epochs: 2, batch_size: 8, sgd: SgdConfig::default() };
-            train(&mut net, &ds, None, &config, &mut rng)
-                .iter()
-                .map(|e| e.mean_loss)
-                .collect()
+            train(&mut net, &ds, None, &config, &mut rng).iter().map(|e| e.mean_loss).collect()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

@@ -27,7 +27,13 @@ pub struct MmcmLimits {
 
 impl Default for MmcmLimits {
     fn default() -> Self {
-        MmcmLimits { vco_min_mhz: 600.0, vco_max_mhz: 1200.0, mult_max: 64, div_max: 56, outdiv_max: 128 }
+        MmcmLimits {
+            vco_min_mhz: 600.0,
+            vco_max_mhz: 1200.0,
+            mult_max: 64,
+            div_max: 56,
+            outdiv_max: 128,
+        }
     }
 }
 
@@ -87,7 +93,7 @@ impl Mmcm {
                 // Prefer the highest VCO; among ties, the smallest divider
                 // (less reference-path jitter in real silicon).
                 let score = limits.vco_max_mhz - vco + f64::from(div) * 1e-6;
-                if best.map_or(true, |(_, _, s)| score < s) {
+                if best.is_none_or(|(_, _, s)| score < s) {
                     best = Some((mult, div, score));
                 }
             }

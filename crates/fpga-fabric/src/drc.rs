@@ -172,7 +172,7 @@ pub fn check_with(netlist: &Netlist, policy: DrcPolicy) -> DrcReport {
     check_latch_loops(netlist, policy, &mut violations);
     check_latch_usage(netlist, &mut violations);
     check_dangling(netlist, &mut violations);
-    violations.sort_by(|a, b| b.severity.cmp(&a.severity));
+    violations.sort_by_key(|v| std::cmp::Reverse(v.severity));
     DrcReport { violations }
 }
 
@@ -180,15 +180,11 @@ pub fn check_with(netlist: &Netlist, policy: DrcPolicy) -> DrcReport {
 /// combinational cells; any non-trivial SCC (or combinational self-loop) is
 /// a `LUTLP-1` error.
 fn check_combinational_loops(netlist: &Netlist, out: &mut Vec<Violation>) {
-    let comb: Vec<CellId> = netlist
-        .cells()
-        .filter(|(_, c)| !c.kind.is_sequential())
-        .map(|(id, _)| id)
-        .collect();
+    let comb: Vec<CellId> =
+        netlist.cells().filter(|(_, c)| !c.kind.is_sequential()).map(|(id, _)| id).collect();
     let sccs = sccs_over(netlist, &comb);
     for scc in sccs {
-        let names: Vec<String> =
-            scc.iter().map(|id| netlist.cell(*id).name.clone()).collect();
+        let names: Vec<String> = scc.iter().map(|id| netlist.cell(*id).name.clone()).collect();
         out.push(Violation {
             rule: Rule::CombinationalLoop,
             severity: Severity::Error,
@@ -213,12 +209,10 @@ fn check_latch_loops(netlist: &Netlist, policy: DrcPolicy, out: &mut Vec<Violati
     let sccs = sccs_over(netlist, &all);
     for scc in sccs {
         let has_latch = scc.iter().any(|id| netlist.cell(*id).kind == PrimitiveKind::Ldce);
-        let all_comb_or_latch = scc
-            .iter()
-            .all(|id| {
-                let k = netlist.cell(*id).kind;
-                !k.is_sequential() || k == PrimitiveKind::Ldce
-            });
+        let all_comb_or_latch = scc.iter().all(|id| {
+            let k = netlist.cell(*id).kind;
+            !k.is_sequential() || k == PrimitiveKind::Ldce
+        });
         if has_latch && all_comb_or_latch {
             out.push(Violation {
                 rule: Rule::LatchInLoop,
@@ -235,11 +229,8 @@ fn check_latch_loops(netlist: &Netlist, policy: DrcPolicy, out: &mut Vec<Violati
 }
 
 fn check_latch_usage(netlist: &Netlist, out: &mut Vec<Violation>) {
-    let latches: Vec<CellId> = netlist
-        .cells()
-        .filter(|(_, c)| c.kind == PrimitiveKind::Ldce)
-        .map(|(id, _)| id)
-        .collect();
+    let latches: Vec<CellId> =
+        netlist.cells().filter(|(_, c)| c.kind == PrimitiveKind::Ldce).map(|(id, _)| id).collect();
     if !latches.is_empty() {
         out.push(Violation {
             rule: Rule::LatchUsage,
@@ -356,8 +347,7 @@ mod tests {
 
     fn ring_oscillator(stages: usize) -> Netlist {
         let mut n = Netlist::new("ro");
-        let cells: Vec<_> =
-            (0..stages).map(|i| n.add_lut1_inverter(&format!("inv{i}"))).collect();
+        let cells: Vec<_> = (0..stages).map(|i| n.add_lut1_inverter(&format!("inv{i}"))).collect();
         for i in 0..stages {
             let from = cells[i];
             let to = cells[(i + 1) % stages];

@@ -59,11 +59,8 @@ mod tests {
     fn display_is_lowercase_and_informative() {
         let e = FabricError::NotFound("net n42".into());
         assert_eq!(e.to_string(), "net n42 not found");
-        let e = FabricError::PlacementOverflow {
-            requested: 10,
-            available: 4,
-            what: "DSP48E1".into(),
-        };
+        let e =
+            FabricError::PlacementOverflow { requested: 10, available: 4, what: "DSP48E1".into() };
         assert!(e.to_string().contains("requested 10 DSP48E1"));
     }
 

@@ -350,16 +350,8 @@ impl Netlist {
                 name: name.clone(),
                 kind: c.kind,
                 init: c.init,
-                nets_in: c
-                    .nets_in
-                    .iter()
-                    .map(|n| n.map(|NetId(i)| NetId(i + net_off)))
-                    .collect(),
-                nets_out: c
-                    .nets_out
-                    .iter()
-                    .map(|n| n.map(|NetId(i)| NetId(i + net_off)))
-                    .collect(),
+                nets_in: c.nets_in.iter().map(|n| n.map(|NetId(i)| NetId(i + net_off))).collect(),
+                nets_out: c.nets_out.iter().map(|n| n.map(|NetId(i)| NetId(i + net_off))).collect(),
             });
             self.names.insert(name, id);
         }

@@ -50,7 +50,10 @@ impl PrimitiveKind {
     pub fn is_sequential(self) -> bool {
         matches!(
             self,
-            PrimitiveKind::Ldce | PrimitiveKind::Fdre | PrimitiveKind::Dsp48 | PrimitiveKind::Bram36
+            PrimitiveKind::Ldce
+                | PrimitiveKind::Fdre
+                | PrimitiveKind::Dsp48
+                | PrimitiveKind::Bram36
         )
     }
 
@@ -73,10 +76,10 @@ impl PrimitiveKind {
     pub fn input_count(self) -> usize {
         match self {
             PrimitiveKind::Lut6 | PrimitiveKind::Lut6_2 => 6,
-            PrimitiveKind::Ldce => 4,  // D, G, GE, CLR
-            PrimitiveKind::Fdre => 4,  // D, C, CE, R
+            PrimitiveKind::Ldce => 4,   // D, G, GE, CLR
+            PrimitiveKind::Fdre => 4,   // D, C, CE, R
             PrimitiveKind::Carry4 => 9, // CI + 4×S + 4×DI
-            PrimitiveKind::Dsp48 => 3, // A, B, D buses (abstracted)
+            PrimitiveKind::Dsp48 => 3,  // A, B, D buses (abstracted)
             PrimitiveKind::Bram36 => 3,
             PrimitiveKind::Ibuf => 1,
             PrimitiveKind::Obuf => 1,
@@ -87,8 +90,8 @@ impl PrimitiveKind {
     /// Number of outputs the primitive exposes in this model.
     pub fn output_count(self) -> usize {
         match self {
-            PrimitiveKind::Lut6_2 => 2,  // O6, O5
-            PrimitiveKind::Carry4 => 8,  // 4×CO + 4×O
+            PrimitiveKind::Lut6_2 => 2, // O6, O5
+            PrimitiveKind::Carry4 => 8, // 4×CO + 4×O
             PrimitiveKind::Dsp48 => 1,
             _ => 1,
         }

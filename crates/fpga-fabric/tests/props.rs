@@ -13,7 +13,7 @@ proptest! {
     fn random_dags_never_have_comb_loops(edges in prop::collection::vec((0usize..30, 0usize..30), 0..80)) {
         let mut n = Netlist::new("dag");
         let cells: Vec<_> = (0..30).map(|i| n.add_lut1_inverter(&format!("l{i}"))).collect();
-        let mut next_pin = vec![0u8; 30];
+        let mut next_pin = [0u8; 30];
         for (a, b) in edges {
             // Only forward edges (a < b) keep the graph acyclic.
             let (a, b) = if a < b { (a, b) } else if b < a { (b, a) } else { continue };

@@ -1,0 +1,207 @@
+//! Deterministic parallel-map runtime for embarrassingly-parallel
+//! campaign sweeps.
+//!
+//! The figure harnesses sweep thousands of independent campaign points
+//! (layer × strike-count, striker-cell counts, per-image fault trials).
+//! This crate splits an index range across a scoped worker pool
+//! (`std::thread::scope`; the workspace dependency policy forbids rayon)
+//! and merges results **in index order**, so the output is bit-identical
+//! to the serial path regardless of thread count.
+//!
+//! # Determinism contract
+//!
+//! - Work items must be independent: item `i` may depend only on `i` and
+//!   on shared read-only state, never on another item's output.
+//! - Randomised items take their generator from [`map_seeded`], which
+//!   hands item `i` an `StdRng` seeded by [`seed_for`]`(campaign_seed, i)`
+//!   — a SplitMix64 mix of the campaign seed and the item index. The
+//!   stream an item sees is a pure function of `(campaign_seed, i)`, so
+//!   scheduling order and worker count cannot change it.
+//! - Results are written back by item index; `DEEPSTRIKE_THREADS=1` and
+//!   `DEEPSTRIKE_THREADS=64` produce byte-identical outputs.
+//!
+//! # Thread count
+//!
+//! `DEEPSTRIKE_THREADS` overrides the pool size (values `< 1` clamp
+//! to 1); the default is `std::thread::available_parallelism()`. Nested
+//! calls (a parallel map inside a worker) run serially on the calling
+//! worker rather than oversubscribing — the result is identical either
+//! way by the contract above.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Environment variable overriding the worker-pool size.
+pub const THREADS_ENV: &str = "DEEPSTRIKE_THREADS";
+
+/// The worker-pool size: `DEEPSTRIKE_THREADS` if set (clamped to ≥ 1),
+/// otherwise the machine's available parallelism.
+pub fn thread_count() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-item seed: a SplitMix64-style mix of `(campaign_seed, index)`.
+///
+/// Adjacent indices and adjacent campaign seeds map to uncorrelated
+/// streams, so `seed ^ i`-style collisions (where two campaign points
+/// share a stream) cannot occur.
+pub fn seed_for(campaign_seed: u64, index: u64) -> u64 {
+    mix(mix(campaign_seed) ^ mix(index.wrapping_add(0x5851_F42D_4C95_7F2D)))
+}
+
+/// Maps `f` over `0..n` on the worker pool; returns results in index
+/// order. `f` must be a pure function of its index (plus shared
+/// read-only captures).
+pub fn map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = thread_count().min(n.max(1));
+    if workers <= 1 || n <= 1 || IN_WORKER.with(Cell::get) {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("par worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots.into_iter().map(|v| v.expect("every index produced")).collect()
+}
+
+/// Maps `f` over the items of a slice; returns results in item order.
+pub fn map_items<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    map(items.len(), |i| f(&items[i]))
+}
+
+/// Maps `f` over `0..n`, handing each item its own `StdRng` seeded from
+/// `(campaign_seed, index)` via [`seed_for`]. The randomness an item
+/// sees is independent of scheduling, so results merge bit-identically
+/// at any thread count.
+pub fn map_seeded<T, F>(n: usize, campaign_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut StdRng) -> T + Sync,
+{
+    map(n, |i| {
+        let mut rng = StdRng::seed_from_u64(seed_for(campaign_seed, i as u64));
+        f(i, &mut rng)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn results_arrive_in_index_order() {
+        let out = map(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(map(0, |i| i).is_empty());
+        assert_eq!(map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn map_items_preserves_order() {
+        let items = ["a", "bb", "ccc"];
+        assert_eq!(map_items(&items, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn seeded_map_matches_serial_reference() {
+        let parallel = map_seeded(64, 42, |i, rng| (i, rng.gen_range(0u32..1000)));
+        let serial: Vec<_> = (0..64)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(seed_for(42, i as u64));
+                (i as usize, rng.gen_range(0u32..1000))
+            })
+            .collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn per_item_streams_are_uncorrelated() {
+        // A weak mix like `seed ^ i` makes item 1 of campaign 2 collide
+        // with item 3 of campaign 0; the mixed seeds must all differ.
+        let mut seeds = std::collections::HashSet::new();
+        for campaign in 0..50u64 {
+            for item in 0..50u64 {
+                seeds.insert(seed_for(campaign, item));
+            }
+        }
+        assert_eq!(seeds.len(), 2500);
+    }
+
+    #[test]
+    fn nested_maps_run_serially_and_match() {
+        let nested = map(8, |i| map(8, move |j| i * 8 + j));
+        let flat: Vec<Vec<usize>> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).collect()).collect();
+        assert_eq!(nested, flat);
+    }
+
+    #[test]
+    fn uneven_work_still_merges_in_order() {
+        let out = map(32, |i| {
+            // Vary per-item cost so the dynamic scheduler interleaves.
+            let spin = if i % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = i as u64;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(31).wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (i, entry) in out.iter().enumerate() {
+            assert_eq!(entry.0, i);
+        }
+    }
+}

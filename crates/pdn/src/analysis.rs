@@ -149,10 +149,7 @@ mod tests {
     fn glitch_windows_found_and_maximal() {
         let t = trace(&[1.0, 0.8, 0.7, 1.0, 0.9, 0.6, 0.6]);
         let w = glitch_windows(&t, 0.85);
-        assert_eq!(
-            w,
-            vec![GlitchWindow { start: 1, end: 3 }, GlitchWindow { start: 5, end: 7 }]
-        );
+        assert_eq!(w, vec![GlitchWindow { start: 1, end: 3 }, GlitchWindow { start: 5, end: 7 }]);
         assert_eq!(w[0].len(), 2);
         assert!(!w[0].is_empty());
     }

@@ -109,9 +109,9 @@ impl LumpedPdn {
         Ok(LumpedPdn { params, v: params.vdd, i_l: 0.0 })
     }
 
-    /// A parameterisation in the ballpark of a Zynq-7020 class device:
-    /// 1.0 V rail, 45 mΩ effective series resistance (regulator + package
-    /// + grid IR), 100 pH loop inductance, 200 nF effective decap.
+    /// A parameterisation in the ballpark of a Zynq-7020 class device: a
+    /// 1.0 V rail, 45 mΩ effective series resistance (regulator + package +
+    /// grid IR), 100 pH loop inductance, 200 nF effective decap.
     /// `√(L/C)` ≈ 22 mΩ on top of the IR path, so a ≈ 3.6 A striker
     /// transient (24,000 cells) droops the rail by ≈ 0.24 V — the regime
     /// behind the paper's near-100% fault rate in Fig. 6b — while the

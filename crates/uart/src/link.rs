@@ -34,10 +34,7 @@ impl Endpoint {
     pub fn pair() -> (Endpoint, Endpoint) {
         let ab = Arc::new(Mutex::new(Wire::default()));
         let ba = Arc::new(Mutex::new(Wire::default()));
-        (
-            Endpoint { tx: Arc::clone(&ab), rx: Arc::clone(&ba) },
-            Endpoint { tx: ba, rx: ab },
-        )
+        (Endpoint { tx: Arc::clone(&ab), rx: Arc::clone(&ba) }, Endpoint { tx: ba, rx: ab })
     }
 
     /// Writes bytes toward the peer.

@@ -192,9 +192,7 @@ impl Response {
                 [code] => Ok(Response::Error(*code)),
                 _ => Err(UartError::MalformedMessage("error code".into())),
             },
-            other => {
-                Err(UartError::MalformedMessage(format!("unknown response tag {other:#x}")))
-            }
+            other => Err(UartError::MalformedMessage(format!("unknown response tag {other:#x}"))),
         }
     }
 }

@@ -123,11 +123,7 @@ impl Client {
     /// [`UartError::Timeout`] if no response arrives within 100 pump
     /// iterations; [`UartError::Remote`] if the shell answered with an
     /// error; decoding errors pass through.
-    pub fn transact_with(
-        &mut self,
-        command: &Command,
-        mut pump: impl FnMut(),
-    ) -> Result<Response> {
+    pub fn transact_with(&mut self, command: &Command, mut pump: impl FnMut()) -> Result<Response> {
         self.send(command);
         for _ in 0..100 {
             pump();
@@ -214,10 +210,7 @@ mod tests {
                 shell.poll(&mut fpga);
             })
             .unwrap();
-        assert_eq!(
-            r,
-            Response::Status(StatusInfo { scheme_bits: 16, ..StatusInfo::default() })
-        );
+        assert_eq!(r, Response::Status(StatusInfo { scheme_bits: 16, ..StatusInfo::default() }));
     }
 
     #[test]

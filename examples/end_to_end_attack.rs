@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let float_acc = history.last().and_then(|e| e.eval_accuracy).unwrap_or(0.0);
     let victim = QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper())?;
     let q_acc = victim.accuracy(test.iter());
-    println!("float accuracy {:.2}%, deployed 8-bit accuracy {:.2}%", float_acc * 100.0, q_acc * 100.0);
+    println!(
+        "float accuracy {:.2}%, deployed 8-bit accuracy {:.2}%",
+        float_acc * 100.0,
+        q_acc * 100.0
+    );
 
     println!("\n== provider-side deployment checks ==");
     let device = Device::zynq_7020();

@@ -39,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Assemble the two-tenant cloud FPGA: victim accelerator + attacker
     //    (TDC sensor, start detector, signal RAM, 12k-cell power striker).
-    let mut fpga = CloudFpga::new(&victim, &AccelConfig::default(), 12_000, CosimConfig::default())?;
+    let mut fpga =
+        CloudFpga::new(&victim, &AccelConfig::default(), 12_000, CosimConfig::default())?;
     fpga.settle(100);
 
     // 3. Profile the victim through the shared PDN.
@@ -60,14 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.strike_cycles.len(),
         run.triggered_cycle
     );
-    let outcome = evaluate_attack(
-        &victim,
-        fpga.schedule(),
-        &run,
-        test.iter(),
-        FaultModel::paper(),
-        1,
-    );
+    let outcome =
+        evaluate_attack(&victim, fpga.schedule(), &run, test.iter(), FaultModel::paper(), 1);
     println!(
         "accuracy {:.1}% -> {:.1}% ({:.1} points lost, {:.0} MAC faults/image)",
         outcome.clean_accuracy * 100.0,

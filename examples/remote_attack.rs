@@ -24,7 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // FPGA side: victim + attacker fabric, exposed through a shell.
     let net = mlp(&mut StdRng::seed_from_u64(3));
     let victim = QuantizedNetwork::from_sequential(&net, &[1, 28, 28], QFormat::paper())?;
-    let mut fpga = CloudFpga::new(&victim, &AccelConfig::default(), 12_000, CosimConfig::default())?;
+    let mut fpga =
+        CloudFpga::new(&victim, &AccelConfig::default(), 12_000, CosimConfig::default())?;
     fpga.settle(100);
 
     let (attacker_end, fpga_end) = Endpoint::pair();
@@ -60,9 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         strike_cycles: 1,
         gap_cycles: ((target.len as u32 / 2) / 200).max(1),
     };
-    let response = client.transact_with(&Command::LoadScheme { data: scheme.to_bytes() }, || {
-        shell.poll(&mut fpga);
-    })?;
+    let response =
+        client.transact_with(&Command::LoadScheme { data: scheme.to_bytes() }, || {
+            shell.poll(&mut fpga);
+        })?;
     println!("scheme upload: {response:?}");
 
     // Remote step 3: arm and let the next inference trip the detector.

@@ -47,14 +47,8 @@ fn profile_plan_launch_score_round_trip() {
 
     let mut rng = StdRng::seed_from_u64(5);
     let images = Dataset::generate(30, &RenderParams::default(), &mut rng);
-    let outcome = evaluate_attack(
-        &victim,
-        fpga.schedule(),
-        &run,
-        images.iter(),
-        FaultModel::paper(),
-        11,
-    );
+    let outcome =
+        evaluate_attack(&victim, fpga.schedule(), &run, images.iter(), FaultModel::paper(), 11);
     assert!(outcome.mean_faults_per_image > 0.0, "strikes must produce faults");
     assert!(outcome.attacked_accuracy <= outcome.clean_accuracy + 1e-9);
 }
@@ -167,12 +161,8 @@ fn overheating_guard_under_sustained_striking() {
     let mut fpga = fast_platform(&victim, 20_000);
     let profile = profile_victim(&mut fpga, &["fc1", "fc2", "fc3"], 1).unwrap();
     let (_, len) = profile.window("fc1").unwrap();
-    let scheme = AttackScheme {
-        delay_cycles: 0,
-        strikes: 1,
-        strike_cycles: len as u32,
-        gap_cycles: 0,
-    };
+    let scheme =
+        AttackScheme { delay_cycles: 0, strikes: 1, strike_cycles: len as u32, gap_cycles: 0 };
     fpga.scheduler_mut().load_scheme(&scheme).unwrap();
     fpga.scheduler_mut().arm(true).unwrap();
     let burn = fpga.run_inference();

@@ -41,8 +41,7 @@ fn watchdog_detects_a_real_strike_campaign() {
     let attacked = fpga.run_inference();
     assert_eq!(attacked.strike_cycles.len(), 30);
 
-    let events =
-        GlitchWatchdog::scan(WatchdogConfig::default(), &attacked.tdc_trace).unwrap();
+    let events = GlitchWatchdog::scan(WatchdogConfig::default(), &attacked.tdc_trace).unwrap();
     assert!(
         events.len() >= 10,
         "watchdog must flag a large share of the 30 strikes, got {}",
@@ -55,11 +54,7 @@ fn watchdog_is_quiet_during_clean_execution() {
     let mut fpga = platform(14_000);
     let clean = fpga.run_inference();
     let events = GlitchWatchdog::scan(WatchdogConfig::default(), &clean.tdc_trace).unwrap();
-    assert!(
-        events.is_empty(),
-        "no strikes fired, but the watchdog flagged {:?}",
-        events
-    );
+    assert!(events.is_empty(), "no strikes fired, but the watchdog flagged {:?}", events);
 }
 
 #[test]
@@ -70,13 +65,8 @@ fn strict_provider_policy_blocks_the_whole_attack() {
     // Standard provider: attack deploys.
     deploy(&device, &AccelConfig::default(), &striker, &tdc).unwrap();
     // Hardened provider: the latch-loop scan rejects the tenant.
-    let err = deploy_with_policy(
-        &device,
-        &AccelConfig::default(),
-        &striker,
-        &tdc,
-        DrcPolicy::strict(),
-    )
-    .unwrap_err();
+    let err =
+        deploy_with_policy(&device, &AccelConfig::default(), &striker, &tdc, DrcPolicy::strict())
+            .unwrap_err();
     assert!(matches!(err, DeepStrikeError::Fabric(FabricError::DrcRejected { .. })));
 }

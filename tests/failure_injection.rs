@@ -157,7 +157,10 @@ fn malformed_model_bytes_are_rejected() {
     // Truncations at every structural boundary must error, not panic.
     for cut in [0, 1, 3, 5, 20, bytes.len() / 2, bytes.len() - 1] {
         assert!(
-            matches!(QuantizedNetwork::from_bytes(&bytes[..cut]), Err(QuantError::MalformedModel(_))),
+            matches!(
+                QuantizedNetwork::from_bytes(&bytes[..cut]),
+                Err(QuantError::MalformedModel(_))
+            ),
             "cut at {cut} must be rejected"
         );
     }

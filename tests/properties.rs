@@ -153,7 +153,7 @@ proptest! {
             .unwrap();
         for &i_load in &loads {
             let v = pdn.step(i_load, 1e-9);
-            prop_assert!(v <= 1.2 && v >= -0.2, "voltage {v} escaped physical range");
+            prop_assert!((-0.2..=1.2).contains(&v), "voltage {v} escaped physical range");
         }
     }
 

@@ -1,0 +1,63 @@
+//! `any::<T>()` — the whole-domain strategy for simple types.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// Strategy over the full domain of `T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The whole-domain strategy for `T`, as `any::<u8>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_prim!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Finite floats over a wide dynamic range (no NaN/inf, which
+        // upstream also excludes by default).
+        let mantissa: f32 = rng.gen_range(-1.0f32..1.0);
+        let exp = rng.gen_range(-20i32..20);
+        mantissa * (exp as f32).exp2()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mantissa: f64 = rng.gen_range(-1.0f64..1.0);
+        let exp = rng.gen_range(-40i32..40);
+        mantissa * f64::from(exp).exp2()
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}

@@ -1,0 +1,54 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Length specifications accepted by [`vec`]: a fixed `usize` or a range.
+pub trait SizeRange {
+    /// Draws a length.
+    fn sample_len(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+/// `Vec` strategy with element strategy `element` and length spec `len`
+/// (a fixed `usize` or a `Range<usize>`).
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let n = self.len.sample_len(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,158 @@
+//! Vendored, dependency-light subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of proptest the workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert*` / `prop_assume!`, [`any`],
+//! `prop::collection::vec`, `prop::num::f32::NORMAL`, and [`Strategy`]
+//! over ranges, tuples and arrays.
+//!
+//! Semantics: each property runs `PROPTEST_CASES` (default 64) cases with
+//! inputs drawn from a deterministic per-test generator (seeded by the
+//! test's name), so failures reproduce across runs. There is no shrinking:
+//! a failing case reports its inputs via the assertion message instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+pub use strategy::Strategy;
+
+/// `use proptest::prelude::*` — everything the tests need in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` module-alias used by tests (`prop::collection::vec`,
+    /// `prop::num::f32::NORMAL`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn sum_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __pt_rng = $crate::test_runner::rng_for(stringify!($name));
+                let __pt_cases = $crate::test_runner::cases();
+                for __pt_case in 0..__pt_cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __pt_rng);)*
+                    let __pt_inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)* ""),
+                        $(&$arg),*
+                    );
+                    let __pt_result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__pt_msg) = __pt_result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            __pt_case + 1, __pt_cases, __pt_msg, __pt_inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(a in 0u32..10, pair in (0usize..4, -1.0f64..1.0)) {
+            prop_assert!(a < 10);
+            prop_assert!(pair.0 < 4);
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn vectors_and_any(data in prop::collection::vec(any::<u8>(), 0..16), flag in any::<bool>()) {
+            prop_assert!(data.len() < 16);
+            prop_assume!(flag || data.len() < 32);
+            prop_assert_eq!(data.len(), data.len());
+        }
+
+        #[test]
+        fn normal_floats_are_normal(x in prop::num::f32::NORMAL) {
+            prop_assert!(x.is_normal(), "{x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            fn always_fails(v in 0u32..5) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}

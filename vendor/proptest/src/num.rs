@@ -1,0 +1,55 @@
+//! Numeric sub-strategies (`prop::num::f32::NORMAL`, …).
+
+/// Strategies over `f32`.
+pub mod f32 {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy yielding only *normal* `f32` values: finite, non-zero,
+    /// non-subnormal — mirroring upstream's `prop::num::f32::NORMAL`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Normal;
+
+    /// The normal-floats strategy instance.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f32;
+
+        fn sample(&self, rng: &mut StdRng) -> f32 {
+            // Biased exponent 1..=254 keeps the value normal and finite.
+            let sign = u32::from(rng.gen::<bool>()) << 31;
+            let exponent = rng.gen_range(1u32..=254) << 23;
+            let mantissa = rng.gen::<u32>() & 0x007F_FFFF;
+            f32::from_bits(sign | exponent | mantissa)
+        }
+    }
+}
+
+/// Strategies over `f64`.
+pub mod f64 {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy yielding only *normal* `f64` values.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Normal;
+
+    /// The normal-floats strategy instance.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            let sign = u64::from(rng.gen::<bool>()) << 63;
+            let exponent = rng.gen_range(1u64..=2046) << 52;
+            let mantissa = rng.gen::<u64>() & 0x000F_FFFF_FFFF_FFFF;
+            f64::from_bits(sign | exponent | mantissa)
+        }
+    }
+}

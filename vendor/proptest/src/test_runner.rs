@@ -1,0 +1,43 @@
+//! Deterministic per-test case generation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default number of cases per property (override with `PROPTEST_CASES`).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Cases to run per property, from `PROPTEST_CASES` or the default.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Deterministic generator for a named property test: the same test name
+/// always replays the same input sequence, so failures reproduce.
+pub fn rng_for(test_name: &str) -> StdRng {
+    // FNV-1a over the test name.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = rng_for("some_test");
+        let mut b = rng_for("some_test");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = rng_for("other_test");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
