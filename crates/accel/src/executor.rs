@@ -191,6 +191,8 @@ fn run_conv(
                                 &mut last_products,
                                 rng,
                                 tally,
+                                stage_index,
+                                op_index,
                             );
                             op_index += 1;
                         }
@@ -236,6 +238,8 @@ fn run_dense(
                 &mut last_products,
                 rng,
                 tally,
+                stage_index,
+                op_index,
             );
             op_index += 1;
         }
@@ -273,6 +277,7 @@ impl DupRing {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_fault(
     product: i32,
     fault: MacFault,
@@ -280,8 +285,20 @@ fn apply_fault(
     last_products: &mut DupRing,
     rng: &mut impl Rng,
     tally: &mut AppliedFaults,
+    stage_index: usize,
+    op_index: u64,
 ) -> i32 {
     let stale = last_products.exchange(product);
+    if fault != MacFault::None {
+        trace::emit(|| trace::Event::MacFault {
+            stage: stage_index as u32,
+            op: op_index,
+            kind: match fault {
+                MacFault::Random => trace::FaultKind::Random,
+                _ => trace::FaultKind::Duplicate,
+            },
+        });
+    }
     match fault {
         MacFault::None => product,
         MacFault::Duplicate => {

@@ -1,0 +1,125 @@
+//! Ad-hoc golden-trace inspection: prints a scenario's JSONL event
+//! stream to stdout (the exact bytes the conformance suite diffs).
+//!
+//! ```text
+//! trace_dump                  # summary of every scenario
+//! trace_dump fig3_slice       # full JSONL of one scenario
+//! trace_dump --summary NAME   # per-stage event counts only
+//! trace_dump --conv-rank      # conv1-vs-conv2 fault attribution (EXPERIMENTS.md)
+//! ```
+
+use std::collections::BTreeMap;
+
+use accel::fault::FaultModel;
+use accel::schedule::AccelConfig;
+use bench::golden;
+use deepstrike::attack::{evaluate_attack, plan_attack, profile_victim};
+use deepstrike::cosim::{CloudFpga, CosimConfig};
+
+fn summarize(name: &str, log: &trace::TraceLog) {
+    let mut by_stage: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for event in &log.events {
+        *by_stage.entry(event.stage().name()).or_default() += 1;
+    }
+    println!("# {name}: {} events, {} dropped", log.events.len(), log.dropped);
+    for (stage, count) in by_stage {
+        println!("{stage},{count}");
+    }
+    println!();
+}
+
+/// Trace evidence for the EXPERIMENTS.md fig5b deviation note: attack
+/// conv1 and conv2 at the *same* strike budget on the trained LeNet and
+/// attribute every materialised DSP fault to its pipeline stage. If the
+/// injection side is healthy the two targets see comparable fault counts,
+/// and the accuracy gap is the victim's per-fault sensitivity.
+fn conv_rank() {
+    const STRIKES: u32 = 2_000;
+    const IMAGES: usize = 100;
+
+    let (q, clean_acc) = bench::trained_lenet();
+    let test = bench::test_set();
+    let mut fpga = CloudFpga::new(&q, &AccelConfig::default(), 8_000, CosimConfig::default())
+        .expect("platform assembles");
+    fpga.settle(200);
+    let profile =
+        profile_victim(&mut fpga, &dnn::lenet::STAGE_NAMES, 3).expect("profiles all five layers");
+
+    println!("# conv-rank: {STRIKES} strikes, {IMAGES} images, clean {:.2}%", clean_acc * 100.0);
+    println!(
+        "target,strikes_fired,faults_per_image,duplicate,random,top_stage_share,accuracy_drop_pts"
+    );
+    for target in ["conv1", "conv2"] {
+        let mut fpga = fpga.clone();
+        let scheme = plan_attack(&profile, target, STRIKES).expect("strike budget fits layer");
+        fpga.scheduler_mut().load_scheme(&scheme).expect("scheme fits");
+        fpga.scheduler_mut().arm(true).expect("arms");
+        let run = fpga.run_inference();
+        let (outcome, log) = trace::capture(1 << 22, || {
+            evaluate_attack(
+                &q,
+                fpga.schedule(),
+                &run,
+                test.iter().take(IMAGES),
+                FaultModel::paper(),
+                bench::HARNESS_SEED,
+            )
+        });
+        assert_eq!(log.dropped, 0, "raise the capture capacity");
+
+        // Attribute MacFault events to schedule stages by index.
+        let windows = fpga.schedule().windows();
+        let mut by_stage: BTreeMap<&str, u64> = BTreeMap::new();
+        let (mut dup, mut rnd) = (0u64, 0u64);
+        for event in &log.events {
+            if let trace::Event::MacFault { stage, kind, .. } = event {
+                let name = windows.get(*stage as usize).map_or("?", |w| w.name.as_str());
+                *by_stage.entry(name).or_default() += 1;
+                match kind {
+                    trace::FaultKind::Duplicate => dup += 1,
+                    trace::FaultKind::Random => rnd += 1,
+                }
+            }
+        }
+        let total = dup + rnd;
+        let top = by_stage.iter().max_by_key(|(_, &n)| n);
+        let top_share = top.map_or(String::from("-"), |(name, &n)| {
+            format!("{name}:{:.0}%", 100.0 * n as f64 / total.max(1) as f64)
+        });
+        println!(
+            "{target},{},{:.1},{dup},{rnd},{top_share},{:.1}",
+            outcome.strikes_fired,
+            total as f64 / IMAGES as f64,
+            outcome.accuracy_drop(),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            for &name in golden::SCENARIOS {
+                let log = golden::run_scenario(name);
+                summarize(name, &log);
+            }
+        }
+        [flag] if flag == "--conv-rank" => conv_rank(),
+        [flag, name] if flag == "--summary" => {
+            let log = golden::run_scenario(name);
+            summarize(name, &log);
+        }
+        [name] => {
+            let log = golden::run_scenario(name);
+            print!("{}", log.to_jsonl());
+        }
+        other => {
+            eprintln!(
+                "usage: trace_dump [--conv-rank] [--summary] [{}]",
+                golden::SCENARIOS.join("|")
+            );
+            eprintln!("got: {other:?}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | §III-C DRC claim | `drc_audit` |
 //! | §V future work (3 tenants, more DNNs) | `multi_tenant`, `arch_sweep` |
 
+pub mod golden;
 pub mod report;
 
 use std::fs;

@@ -123,7 +123,18 @@ pub fn plan_attack(profile: &VictimProfile, target: &str, strikes: u32) -> Resul
             "{strikes} strikes cannot fit a {len}-cycle window"
         )));
     }
-    Ok(AttackScheme { delay_cycles: delay, strikes, strike_cycles: 1, gap_cycles: gap })
+    let scheme = AttackScheme { delay_cycles: delay, strikes, strike_cycles: 1, gap_cycles: gap };
+    emit_planned(&scheme);
+    Ok(scheme)
+}
+
+fn emit_planned(scheme: &AttackScheme) {
+    trace::emit(|| trace::Event::AttackPlanned {
+        delay_cycles: u64::from(scheme.delay_cycles),
+        strikes: scheme.strikes,
+        strike_cycles: scheme.strike_cycles,
+        gap_cycles: scheme.gap_cycles,
+    });
 }
 
 /// Compiles a multi-target program: after the trigger, strike each named
@@ -175,6 +186,7 @@ pub fn plan_multi_attack(
             gap_cycles: (per_strike - 1) as u32,
         };
         elapsed += phase.total_bits() as u64;
+        emit_planned(&phase);
         phases.push(phase);
     }
     Ok(crate::signal_ram::SchemeProgram::new(phases))
@@ -185,7 +197,14 @@ pub fn plan_multi_attack(
 pub fn plan_blind(schedule: &Schedule, strikes: u32) -> AttackScheme {
     let total = schedule.total_cycles();
     let per_strike = (total / u64::from(strikes.max(1))).max(2);
-    AttackScheme { delay_cycles: 0, strikes, strike_cycles: 1, gap_cycles: (per_strike - 1) as u32 }
+    let scheme = AttackScheme {
+        delay_cycles: 0,
+        strikes,
+        strike_cycles: 1,
+        gap_cycles: (per_strike - 1) as u32,
+    };
+    emit_planned(&scheme);
+    scheme
 }
 
 /// A [`MacHook`] that converts a recorded [`InferenceRun`] into per-op
@@ -338,12 +357,16 @@ pub fn evaluate_attack<'a>(
             .max_by_key(|(k, &v)| (v, std::cmp::Reverse(*k)))
             .map(|(k, _)| k)
             .expect("non-empty logits");
-        ImageScore {
-            clean_ok: net.predict(x) == y,
-            attacked_ok: predicted == y,
+        let clean_ok = net.predict(x) == y;
+        let attacked_ok = predicted == y;
+        trace::emit(|| trace::Event::ImageScored {
+            index: i as u64,
+            clean_ok,
+            attacked_ok,
             duplicate: tally.duplicate,
             random: tally.random,
-        }
+        });
+        ImageScore { clean_ok, attacked_ok, duplicate: tally.duplicate, random: tally.random }
     });
     let total = scores.len();
     let clean_correct = scores.iter().filter(|s| s.clean_ok).count();

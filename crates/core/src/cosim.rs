@@ -250,6 +250,9 @@ impl CloudFpga {
                 triggered_cycle = Some(cycle);
             }
             if enable {
+                if !self.striker.is_enabled() {
+                    trace::emit(|| trace::Event::StrikeIssued { cycle });
+                }
                 strike_cycles.push(cycle);
             }
             // Inject all loads at their mesh nodes.
@@ -294,6 +297,17 @@ impl CloudFpga {
             let v_now = self.pdn.voltage_at(self.victim_node).expect("victim node is on the mesh");
             let power = i_victim * v_now + self.striker.power_w(v_now);
             self.thermal.step(power, dt * substeps as f64);
+        }
+        // Post-run PDN conformance pass: when recording, summarise every
+        // victim-rail excursion below the DSP fault threshold (the
+        // emission lives in `pdn::analysis::glitch_windows`).
+        if trace::is_collecting() {
+            if let Ok(t) =
+                pdn::trace::Trace::from_samples(dt * substeps as f64, victim_voltage.clone())
+            {
+                let safe = accel::fault::FaultModel::paper().safe_voltage();
+                let _ = pdn::analysis::glitch_windows(&t, safe);
+            }
         }
         InferenceRun {
             tdc_trace,

@@ -66,6 +66,7 @@ pub struct StartDetector {
     state: DetectorState,
     samples_seen: u64,
     triggered_at: Option<u64>,
+    last_hw: Option<u8>,
 }
 
 impl StartDetector {
@@ -93,6 +94,7 @@ impl StartDetector {
             state: DetectorState::Idle,
             samples_seen: 0,
             triggered_at: None,
+            last_hw: None,
         })
     }
 
@@ -126,6 +128,10 @@ impl StartDetector {
     pub fn push(&mut self, raw: u128) -> bool {
         self.samples_seen += 1;
         let hw = self.hamming_weight(raw);
+        if self.last_hw != Some(hw) {
+            self.last_hw = Some(hw);
+            trace::emit(|| trace::Event::DetectorHw { sample: self.samples_seen - 1, hw });
+        }
         let low = hw <= self.config.trigger_hw;
         self.state = match self.state {
             DetectorState::Triggered => DetectorState::Triggered,
@@ -134,6 +140,7 @@ impl StartDetector {
             DetectorState::Candidate(n) if low => {
                 if n + 1 >= self.config.debounce {
                     self.triggered_at = Some(self.samples_seen - 1);
+                    trace::emit(|| trace::Event::DetectorLatch { sample: self.samples_seen - 1 });
                     DetectorState::Triggered
                 } else {
                     DetectorState::Candidate(n + 1)
@@ -149,6 +156,7 @@ impl StartDetector {
         self.state = DetectorState::Idle;
         self.triggered_at = None;
         self.samples_seen = 0;
+        self.last_hw = None;
     }
 }
 

@@ -88,6 +88,7 @@ impl AttackScheduler {
             return Err(DeepStrikeError::InvalidConfig("no scheme loaded".into()));
         }
         self.armed = enabled;
+        trace::emit(|| trace::Event::SchedulerArmed { armed: enabled });
         if enabled {
             self.detector.reset();
             self.strikes_fired = 0;

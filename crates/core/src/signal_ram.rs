@@ -260,6 +260,11 @@ impl SignalRam {
         self.bits = program.to_bits();
         self.cursor = 0;
         self.running = false;
+        trace::emit(|| trace::Event::SchemeLoaded {
+            bits: bits as u64,
+            strikes: program.total_strikes(),
+            phases: program.phases().len() as u32,
+        });
         Ok(())
     }
 
@@ -267,6 +272,9 @@ impl SignalRam {
     pub fn start(&mut self) {
         self.cursor = 0;
         self.running = self.is_loaded();
+        if self.running {
+            trace::emit(|| trace::Event::PlaybackStart { len_bits: self.bits.len() as u64 });
+        }
     }
 
     /// Stops playback.
@@ -285,6 +293,7 @@ impl SignalRam {
                 self.cursor += 1;
                 if self.cursor >= self.bits.len() {
                     self.running = false;
+                    trace::emit(|| trace::Event::PlaybackDone { bits_played: self.cursor as u64 });
                 }
                 b
             }

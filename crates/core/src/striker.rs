@@ -108,6 +108,7 @@ impl StrikerBank {
     pub fn set_enabled(&mut self, enabled: bool) {
         if enabled && !self.enabled {
             self.activations += 1;
+            trace::emit(|| trace::Event::StrikerEdge { activation: self.activations });
         }
         self.enabled = enabled;
     }

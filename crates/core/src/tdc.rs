@@ -70,6 +70,7 @@ pub struct TdcSensor {
     sample_clock: ClockSpec,
     delay_model: DelayModel,
     sample_counter: u64,
+    samples_taken: u64,
 }
 
 impl TdcSensor {
@@ -94,6 +95,7 @@ impl TdcSensor {
             sample_clock,
             delay_model: DelayModel::default(),
             sample_counter: 0,
+            samples_taken: 0,
         })
     }
 
@@ -196,6 +198,12 @@ impl TdcSensor {
         } else {
             (1u128 << n) - 1
         };
+        // Separate from `sample_counter`: that one seeds the dither Weyl
+        // sequence and only advances when dither is on, so observability
+        // must not share it.
+        let index = self.samples_taken;
+        self.samples_taken += 1;
+        trace::emit(|| trace::Event::TdcSample { index, count: n.min(255) as u8 });
         TdcReading { raw, count: n.min(255) as u8 }
     }
 

@@ -369,12 +369,14 @@ impl QuantizedNetwork {
     /// Predicted class for one input.
     pub fn predict(&self, input: &Tensor) -> usize {
         let logits = self.infer_logits(input);
-        logits
+        let predicted = logits
             .iter()
             .enumerate()
             .max_by_key(|(i, &v)| (v, std::cmp::Reverse(*i)))
             .map(|(i, _)| i)
-            .expect("non-empty logits")
+            .expect("non-empty logits");
+        trace::emit(|| trace::Event::Inference { predicted: predicted as u32 });
+        predicted
     }
 
     /// Classification accuracy over `(image, label)` pairs.

@@ -27,6 +27,15 @@
 //! calls (a parallel map inside a worker) run serially on the calling
 //! worker rather than oversubscribing — the result is identical either
 //! way by the contract above.
+//!
+//! # Tracing
+//!
+//! When the calling thread has a [`trace`] session installed, each work
+//! item records into a private capture buffer on its worker and the logs
+//! are re-appended to the caller's session **in index order** after the
+//! join — so a pipeline trace is bit-identical at any `DEEPSTRIKE_THREADS`
+//! (the serial path emits straight into the caller's buffer, which is the
+//! same order).
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -79,8 +88,12 @@ where
         return (0..n).map(f).collect();
     }
 
+    // The caller's trace session is thread-local, so workers capture each
+    // item's events privately; the logs are appended back in index order
+    // below, making the merged trace independent of scheduling.
+    let capture_capacity = trace::current_capacity();
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<(T, Option<trace::TraceLog>)>> = (0..n).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -94,7 +107,14 @@ where
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        let entry = match capture_capacity {
+                            Some(cap) => {
+                                let (value, log) = trace::capture(cap, || f(i));
+                                (value, Some(log))
+                            }
+                            None => (f(i), None),
+                        };
+                        local.push((i, entry));
                     }
                     local
                 })
@@ -106,7 +126,16 @@ where
             }
         }
     });
-    slots.into_iter().map(|v| v.expect("every index produced")).collect()
+    slots
+        .into_iter()
+        .map(|v| {
+            let (value, log) = v.expect("every index produced");
+            if let Some(log) = log {
+                trace::append(log);
+            }
+            value
+        })
+        .collect()
 }
 
 /// Maps `f` over the items of a slice; returns results in item order.
@@ -187,6 +216,38 @@ mod tests {
         let nested = map(8, |i| map(8, move |j| i * 8 + j));
         let flat: Vec<Vec<usize>> = (0..8).map(|i| (0..8).map(|j| i * 8 + j).collect()).collect();
         assert_eq!(nested, flat);
+    }
+
+    #[test]
+    fn traces_merge_in_index_order() {
+        // The env var is process-global and owned by tests/par_determinism.rs;
+        // here we only check that the parallel path stitches per-item event
+        // logs back in index order regardless of scheduling.
+        let (out, log) = trace::capture(1 << 12, || {
+            map(32, |i| {
+                let spin = if i % 5 == 0 { 20_000 } else { 10 };
+                let mut acc = i as u64;
+                for k in 0..spin {
+                    acc = acc.wrapping_mul(31).wrapping_add(k);
+                }
+                trace::emit(|| trace::Event::TdcSample {
+                    index: i as u64,
+                    count: (acc % 97) as u8,
+                });
+                i
+            })
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+        assert_eq!(log.dropped, 0);
+        let indices: Vec<u64> = log
+            .events
+            .iter()
+            .map(|e| match e {
+                trace::Event::TdcSample { index, .. } => *index,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(indices, (0..32u64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -85,20 +85,35 @@ impl GlitchWindow {
 
 /// Finds all maximal contiguous windows where the trace is below
 /// `v_threshold`.
+///
+/// When a [`trace`](::trace) session is recording, each window is also
+/// emitted as a `PdnGlitch` event carrying its nadir voltage in integer
+/// microvolts (rounded), so golden traces stay float-format independent.
 pub fn glitch_windows(trace: &Trace, v_threshold: f64) -> Vec<GlitchWindow> {
     let mut out = Vec::new();
     let mut start: Option<usize> = None;
+    let mut nadir = f64::INFINITY;
+    let close = |s: usize, end: usize, nadir: f64| {
+        ::trace::emit(|| ::trace::Event::PdnGlitch {
+            start: s as u64,
+            len: (end - s) as u64,
+            nadir_uv: (nadir.max(0.0) * 1e6).round() as u64,
+        });
+        GlitchWindow { start: s, end }
+    };
     for (i, &v) in trace.samples().iter().enumerate() {
         if v < v_threshold {
             if start.is_none() {
                 start = Some(i);
+                nadir = f64::INFINITY;
             }
+            nadir = nadir.min(v);
         } else if let Some(s) = start.take() {
-            out.push(GlitchWindow { start: s, end: i });
+            out.push(close(s, i, nadir));
         }
     }
     if let Some(s) = start {
-        out.push(GlitchWindow { start: s, end: trace.len() });
+        out.push(close(s, trace.len(), nadir));
     }
     out
 }

@@ -1,6 +1,13 @@
 //! Agreement tests between the layers of the fault-modelling stack:
 //! closed-form probabilities ↔ cycle-level DSP sampling ↔ the statistical
-//! executor (DESIGN.md §4's "both modes are tested for agreement").
+//! executor (DESIGN.md §4's "both modes are tested for agreement"), plus
+//! stage-level agreement across the whole pipeline via the golden-trace
+//! scenarios (DESIGN.md §8).
+//!
+//! NOTE: nothing in this binary may mutate `DEEPSTRIKE_THREADS` — the
+//! variable is process-global and tests run concurrently; the golden
+//! scenarios here are asserted under whatever ambient thread count the
+//! harness picked (the thread-sweep itself lives in `golden_trace.rs`).
 
 use accel::dsp::{DspOp, DspSlice};
 use accel::executor::{infer_with_faults, NoFaults};
@@ -94,4 +101,142 @@ fn duplication_semantics_match_between_dsp_and_executor_direction() {
         }
     }
     assert!(dup_checked > 50, "too few duplications observed: {dup_checked}");
+}
+
+/// Stage-level agreement on the fig3 guided strike: the detector's latch
+/// point, the signal-RAM schedule, the striker edges and the PDN glitch
+/// windows must all tell the same story about the same run.
+#[test]
+fn fig3_trace_stages_agree_on_strike_accounting() {
+    use trace::Event;
+
+    let log = bench::golden::run_scenario("fig3_slice");
+    assert_eq!(log.dropped, 0);
+
+    // fig3_slice's scheme, restated here so a drift in the scenario shows
+    // up as a loud mismatch rather than a silently-updated expectation.
+    let (delay, strikes, strike_cycles, gap) = (20u64, 5usize, 1u64, 7u64);
+    let total_bits = delay + strikes as u64 * (strike_cycles + gap);
+
+    // Signal-RAM stage: the compiled scheme and its playback agree.
+    let loaded: Vec<_> = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::SchemeLoaded { bits, strikes, phases } => Some((*bits, *strikes, *phases)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(loaded, vec![(total_bits, strikes as u32, 1u32)]);
+    assert_eq!(
+        log.count(|e| matches!(e, Event::PlaybackStart { len_bits } if *len_bits == total_bits)),
+        1
+    );
+    assert_eq!(
+        log.count(
+            |e| matches!(e, Event::PlaybackDone { bits_played } if *bits_played == total_bits)
+        ),
+        1
+    );
+
+    // Detector stage: exactly one latch, and playback starts right after
+    // it — the first strike fires `delay` cycles past the latch sample.
+    let latches: Vec<u64> = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::DetectorLatch { sample } => Some(*sample),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(latches.len(), 1, "one DNN start, one latch");
+    let latch = latches[0];
+
+    // Scheduler stage: strike cycles line up with the compiled schedule.
+    let strike_at: Vec<u64> = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::StrikeIssued { cycle } => Some(*cycle),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(strike_at.len(), strikes);
+    assert_eq!(strike_at[0], latch + 1 + delay, "first strike is delay-aligned to the latch");
+    for pair in strike_at.windows(2) {
+        assert_eq!(pair[1] - pair[0], strike_cycles + gap, "strikes are gap-spaced");
+    }
+
+    // Striker stage: one rising edge per strike, numbered consecutively.
+    let edges: Vec<u64> = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::StrikerEdge { activation } => Some(*activation),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(edges, (1..=strikes as u64).collect::<Vec<_>>());
+
+    // PDN stage: each glitch window dips below the DSP's safe voltage
+    // (that is what makes the strikes faults rather than noise).
+    let safe_uv = (FaultModel::paper().safe_voltage() * 1e6) as u64;
+    let glitches: Vec<u64> = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::PdnGlitch { nadir_uv, .. } => Some(*nadir_uv),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !glitches.is_empty() && glitches.len() <= strikes,
+        "between one merged window and one per strike: {glitches:?}"
+    );
+    for nadir in glitches {
+        assert!(nadir > 0 && nadir < safe_uv, "nadir {nadir}µV not below safe {safe_uv}µV");
+    }
+}
+
+/// Stage-level agreement on the fig5b campaign: the per-image fault
+/// tallies reported by the evaluator must equal the DSP-level fault
+/// events materialised by the executor — two independent observers of
+/// the same run.
+#[test]
+fn fig5b_trace_fault_tallies_agree_across_stages() {
+    use trace::Event;
+
+    let log = bench::golden::run_scenario("fig5b_slice");
+    assert_eq!(log.dropped, 0);
+
+    let scored: Vec<(u64, u64, u64)> = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::ImageScored { index, duplicate, random, .. } => {
+                Some((*index, *duplicate, *random))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(scored.len(), 6, "six evaluation images");
+    assert_eq!(
+        scored.iter().map(|s| s.0).collect::<Vec<_>>(),
+        (0..6).collect::<Vec<_>>(),
+        "par merge keeps image order"
+    );
+
+    let dup_events =
+        log.count(|e| matches!(e, Event::MacFault { kind: trace::FaultKind::Duplicate, .. }));
+    let rand_events =
+        log.count(|e| matches!(e, Event::MacFault { kind: trace::FaultKind::Random, .. }));
+    let dup_scored: u64 = scored.iter().map(|s| s.1).sum();
+    let rand_scored: u64 = scored.iter().map(|s| s.2).sum();
+    assert_eq!(dup_events as u64, dup_scored, "duplicate tallies disagree");
+    assert_eq!(rand_events as u64, rand_scored, "random tallies disagree");
+
+    // One attacked inference per image, and the plan that produced them
+    // was recorded once.
+    assert_eq!(log.count(|e| matches!(e, Event::Inference { .. })), 6);
+    assert_eq!(log.count(|e| matches!(e, Event::AttackPlanned { .. })), 1);
 }

@@ -1,0 +1,95 @@
+//! Golden-trace conformance suite (DESIGN.md §8).
+//!
+//! Replays every golden scenario at `DEEPSTRIKE_THREADS` = 1, 2 and 8,
+//! requires the rendered JSONL to be bit-identical across thread counts,
+//! and diffs it line-by-line against the blessed copy under
+//! `tests/golden/`. Regenerate after an intentional pipeline change with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_trace
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("tests");
+    p.push("golden");
+    p.push(format!("{name}.jsonl"));
+    p
+}
+
+/// Asserts `actual == expected` with a first-divergence report instead of
+/// dumping two multi-thousand-line strings.
+fn assert_jsonl_eq(name: &str, expected: &str, actual: &str) {
+    if expected == actual {
+        return;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    for (i, (e, a)) in exp.iter().zip(&act).enumerate() {
+        assert_eq!(
+            e,
+            a,
+            "{name}: first trace divergence at line {} of {} (golden) / {} (actual)",
+            i + 1,
+            exp.len(),
+            act.len()
+        );
+    }
+    panic!(
+        "{name}: traces agree for {} lines but lengths differ: {} (golden) vs {} (actual); \
+         regenerate with GOLDEN_REGEN=1 if the change is intentional",
+        exp.len().min(act.len()),
+        exp.len(),
+        act.len()
+    );
+}
+
+/// `DEEPSTRIKE_THREADS` is process-global, so the whole thread sweep and
+/// every golden comparison live in this single test (a second test
+/// mutating the variable would race).
+#[test]
+fn golden_traces_match_and_are_thread_count_invariant() {
+    let prior = std::env::var(par::THREADS_ENV).ok();
+    let regen = std::env::var("GOLDEN_REGEN").is_ok_and(|v| !v.is_empty() && v != "0");
+
+    for &name in bench::golden::SCENARIOS {
+        let mut renders: Vec<(&str, String)> = Vec::new();
+        for threads in ["1", "2", "8"] {
+            std::env::set_var(par::THREADS_ENV, threads);
+            let log = bench::golden::run_scenario(name);
+            assert_eq!(log.dropped, 0, "{name}: session ring overflowed at {threads} threads");
+            renders.push((threads, log.to_jsonl()));
+        }
+        let reference = renders[0].1.clone();
+        for (threads, render) in &renders[1..] {
+            assert_jsonl_eq(
+                &format!("{name} @ DEEPSTRIKE_THREADS={threads} vs 1"),
+                &reference,
+                render,
+            );
+        }
+
+        let path = golden_path(name);
+        if regen {
+            fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+            fs::write(&path, &reference).expect("write golden");
+        } else {
+            let blessed = fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "{name}: missing golden file {} ({e}); bless with \
+                     GOLDEN_REGEN=1 cargo test --test golden_trace",
+                    path.display()
+                )
+            });
+            assert_jsonl_eq(name, &blessed, &reference);
+        }
+    }
+
+    match prior {
+        Some(v) => std::env::set_var(par::THREADS_ENV, v),
+        None => std::env::remove_var(par::THREADS_ENV),
+    }
+}
