@@ -35,20 +35,24 @@ pub const GOLDEN_SEED: u64 = 0x00D5_2021;
 pub const SESSION_CAPACITY: usize = 1 << 16;
 
 /// Scenario names, in the order the conformance suite replays them.
-pub const SCENARIOS: &[&str] = &["fig1b_slice", "fig3_slice", "fig5b_slice"];
+pub const SCENARIOS: &[&str] = &["fig1b_slice", "fig3_slice", "fig5b_slice", "remote_slice"];
 
-fn accel_config() -> AccelConfig {
+/// Accelerator settings every golden scenario (and the chaos suite) uses.
+pub fn accel_config() -> AccelConfig {
     AccelConfig { weight_bandwidth: 16, stall_cycles: 150, ..AccelConfig::default() }
 }
 
-fn cosim_config() -> CosimConfig {
+/// Co-simulation settings every golden scenario (and the chaos suite)
+/// uses.
+pub fn cosim_config() -> CosimConfig {
     CosimConfig { pdn_substeps: 4, ..CosimConfig::default() }
 }
 
-/// The fig3/fig5b victim: two dense layers on a 6×6 input, small enough
-/// that one inference is a few hundred cycles yet each layer's execution
-/// segment clears the profiler's minimum length.
-fn tiny_dense_victim() -> QuantizedNetwork {
+/// The fig3/fig5b/remote victim: two dense layers on a 6×6 input, small
+/// enough that one inference is a few hundred cycles yet each layer's
+/// execution segment clears the profiler's minimum length. Public so the
+/// chaos suite runs its local-vs-remote comparison on the same victim.
+pub fn tiny_dense_victim() -> QuantizedNetwork {
     let mut rng = StdRng::seed_from_u64(GOLDEN_SEED);
     let mut net = Sequential::new("golden_dense");
     net.push(Box::new(Dense::new("fc1", 36, 16, &mut rng)));
@@ -59,7 +63,7 @@ fn tiny_dense_victim() -> QuantizedNetwork {
 
 /// Deterministic 6×6 evaluation images (no RNG: values are a fixed
 /// arithmetic pattern, labels cycle through the classes).
-fn golden_images(n: usize) -> Vec<(Tensor, usize)> {
+pub fn golden_images(n: usize) -> Vec<(Tensor, usize)> {
     (0..n)
         .map(|i| {
             let data: Vec<f32> = (0..36).map(|j| ((i * 31 + j * 7) % 17) as f32 / 16.0).collect();
@@ -78,6 +82,7 @@ pub fn run_scenario(name: &str) -> trace::TraceLog {
         "fig1b_slice" => fig1b_slice(),
         "fig3_slice" => fig3_slice(),
         "fig5b_slice" => fig5b_slice(),
+        "remote_slice" => remote_slice(),
         other => panic!("unknown golden scenario {other:?} (see golden::SCENARIOS)"),
     }
 }
@@ -146,6 +151,63 @@ fn fig5b_slice() -> trace::TraceLog {
     .1
 }
 
+/// Remote slice: the fig5b campaign driven end-to-end over a lossy UART
+/// link — reliable-transport retries, a forced disconnect the backoff
+/// rides out, the streamed profile, the chunked scheme upload and the
+/// per-phase checkpoints, all in one trace.
+fn remote_slice() -> trace::TraceLog {
+    use deepstrike::remote::{RemoteCampaign, RemoteConfig, SimHost};
+    use deepstrike::DeepStrikeError;
+    use uart::link::{Endpoint, FaultConfig};
+    use uart::transport::{TransportClient, TransportConfig, TransportShell};
+
+    let q = tiny_dense_victim();
+    let mut fpga =
+        CloudFpga::new(&q, &accel_config(), 16_000, cosim_config()).expect("platform assembles");
+    fpga.settle(30);
+    // Modest bursty loss plus one disconnect window early in the profile
+    // stream; the transport's retry span (30 + 60 + 120 + … pumps) rides
+    // out the 25-tick outage, so the campaign completes without degrading.
+    let fault = FaultConfig {
+        loss: 0.02,
+        corrupt: 0.02,
+        burst_len: 12.0,
+        max_jitter: 1,
+        disconnects: vec![(20, 25)],
+    };
+    let (a, b) = Endpoint::faulty_pair(fault, GOLDEN_SEED);
+    let mut link = TransportClient::with_config(
+        a,
+        TransportConfig { pump_budget: 30, max_retries: 10, backoff_cap: 240, chunk_len: 12 },
+    );
+    let mut host = SimHost::new(
+        fpga,
+        TransportShell::new(b),
+        q.clone(),
+        golden_images(4),
+        FaultModel::paper(),
+    );
+    let mut config = RemoteConfig::new(&["fc1", "fc2"], "fc1", 6);
+    config.profile_runs = 1;
+    config.read_chunk = 32;
+    config.eval_seed = GOLDEN_SEED;
+    let mut campaign = RemoteCampaign::new(config);
+    trace::capture(SESSION_CAPACITY, || {
+        let mut resumes = 0;
+        loop {
+            match campaign.run(&mut link, &mut host) {
+                Ok(_) => break,
+                Err(DeepStrikeError::Interrupted { .. }) => {
+                    resumes += 1;
+                    assert!(resumes < 50, "remote slice never converged");
+                }
+                Err(e) => panic!("remote slice failed: {e}"),
+            }
+        }
+    })
+    .1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +243,20 @@ mod tests {
         assert_eq!(log.count(|e| matches!(e, trace::Event::AttackPlanned { .. })), 1);
         assert_eq!(log.count(|e| matches!(e, trace::Event::ImageScored { .. })), 6);
         assert!(log.count(|e| matches!(e, trace::Event::MacFault { .. })) > 0);
+    }
+
+    #[test]
+    fn remote_slice_records_the_transport_and_checkpoint_chain() {
+        let log = run_scenario("remote_slice");
+        assert_eq!(log.dropped, 0, "ring overflow");
+        // One checkpoint per campaign phase.
+        assert_eq!(log.count(|e| matches!(e, trace::Event::CheckpointSaved { .. })), 6);
+        // The lossy link and forced disconnect must cost retransmissions,
+        // but never the campaign's guidance level.
+        assert!(log.count(|e| matches!(e, trace::Event::LinkRetry { .. })) >= 1);
+        assert_eq!(log.count(|e| matches!(e, trace::Event::GuidanceDegraded { .. })), 0);
+        // The 16-byte scheme uploads in two 12-byte chunks.
+        assert_eq!(log.count(|e| matches!(e, trace::Event::UploadProgress { .. })), 2);
+        assert_eq!(log.count(|e| matches!(e, trace::Event::AttackPlanned { .. })), 1);
     }
 }

@@ -65,13 +65,30 @@ pub fn profile_victim(
     layer_names: &[&str],
     runs: usize,
 ) -> Result<VictimProfile> {
+    let traces: Vec<Vec<u8>> = (0..runs.max(1)).map(|_| fpga.run_inference().tdc_trace).collect();
+    profile_from_traces(&traces, layer_names)
+}
+
+/// Profiles the victim from already-captured TDC traces, one per unarmed
+/// inference. This is [`profile_victim`] with the platform access factored
+/// out: the remote driver ([`crate::remote`]) streams the same bytes over
+/// the UART link and must land on bit-identical windows.
+///
+/// # Errors
+///
+/// Returns [`DeepStrikeError::LayerNotFound`] if segmentation does not
+/// produce one segment per expected layer, and
+/// [`DeepStrikeError::InvalidConfig`] when `traces` is empty.
+pub fn profile_from_traces(traces: &[Vec<u8>], layer_names: &[&str]) -> Result<VictimProfile> {
+    if traces.is_empty() {
+        return Err(DeepStrikeError::InvalidConfig("at least one trace required".into()));
+    }
     let mut library = SignatureLibrary::new();
     let mut sums: Vec<(u64, u64)> = vec![(0, 0); layer_names.len()];
     let mut trigger_sum = 0u64;
     let seg_config = SegmenterConfig::default();
-    for _ in 0..runs.max(1) {
-        let run = fpga.run_inference();
-        let segments = segment_trace(&run.tdc_trace, &seg_config);
+    for tdc_trace in traces {
+        let segments = segment_trace(tdc_trace, &seg_config);
         if segments.len() != layer_names.len() {
             return Err(DeepStrikeError::LayerNotFound(format!(
                 "expected {} execution segments, found {}",
@@ -89,7 +106,7 @@ pub fn profile_victim(
         // The detector latches `debounce` samples into the first layer.
         trigger_sum += segments[0].start as u64 / SAMPLES_PER_CYCLE + 2;
     }
-    let n = runs.max(1) as u64;
+    let n = traces.len() as u64;
     Ok(VictimProfile {
         library,
         layer_windows: layer_names
@@ -195,8 +212,14 @@ pub fn plan_multi_attack(
 /// The blind baseline: the same strike count spread over the entire
 /// inference, launched immediately (no TDC guidance).
 pub fn plan_blind(schedule: &Schedule, strikes: u32) -> AttackScheme {
-    let total = schedule.total_cycles();
-    let per_strike = (total / u64::from(strikes.max(1))).max(2);
+    plan_blind_cycles(schedule.total_cycles(), strikes)
+}
+
+/// [`plan_blind`] against a *cycle estimate* instead of the real schedule —
+/// what a remote attacker who never managed to profile must fall back to
+/// (it only knows roughly how long an inference lasts).
+pub fn plan_blind_cycles(total_cycles: u64, strikes: u32) -> AttackScheme {
+    let per_strike = (total_cycles / u64::from(strikes.max(1))).max(2);
     let scheme = AttackScheme {
         delay_cycles: 0,
         strikes,

@@ -320,10 +320,14 @@ impl CloudFpga {
 }
 
 impl ShellHandler for CloudFpga {
+    /// Drains up to `max_samples` oldest readouts from the ring buffer.
+    /// Streaming semantics (rather than a peek at the tail) let a remote
+    /// client reconstruct the full trace chunk by chunk without loss —
+    /// and the reliable transport's replay cache makes the drain safe to
+    /// retransmit.
     fn read_trace(&mut self, max_samples: usize) -> Vec<u8> {
         let n = self.trace_buf.len().min(max_samples);
-        let start = self.trace_buf.len() - n;
-        self.trace_buf.iter().skip(start).copied().collect()
+        self.trace_buf.drain(..n).collect()
     }
 
     fn load_scheme(&mut self, data: &[u8]) -> std::result::Result<(), u8> {

@@ -3,6 +3,7 @@ use std::fmt;
 
 use fpga_fabric::FabricError;
 use pdn::PdnError;
+use uart::UartError;
 
 /// Errors raised by the attack stack.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +23,15 @@ pub enum DeepStrikeError {
     MalformedScheme(String),
     /// Profiling could not identify the requested layer.
     LayerNotFound(String),
+    /// The UART link failed (transport gave up, peer rejected a command).
+    Link(UartError),
+    /// A remote campaign was interrupted by a link outage; its checkpoint
+    /// is intact and [`crate::remote::RemoteCampaign::run`] can be called
+    /// again to resume from `phase`.
+    Interrupted {
+        /// The campaign phase that was executing when the link died.
+        phase: trace::RemotePhase,
+    },
 }
 
 impl fmt::Display for DeepStrikeError {
@@ -38,6 +48,14 @@ impl fmt::Display for DeepStrikeError {
             DeepStrikeError::LayerNotFound(name) => {
                 write!(f, "layer {name} not found in the profile")
             }
+            DeepStrikeError::Link(e) => write!(f, "uart link: {e}"),
+            DeepStrikeError::Interrupted { phase } => {
+                write!(
+                    f,
+                    "campaign interrupted during the {} phase; resume to continue",
+                    phase.name()
+                )
+            }
         }
     }
 }
@@ -47,6 +65,7 @@ impl Error for DeepStrikeError {
         match self {
             DeepStrikeError::Fabric(e) => Some(e),
             DeepStrikeError::Pdn(e) => Some(e),
+            DeepStrikeError::Link(e) => Some(e),
             _ => None,
         }
     }
@@ -63,6 +82,13 @@ impl From<FabricError> for DeepStrikeError {
 impl From<PdnError> for DeepStrikeError {
     fn from(e: PdnError) -> Self {
         DeepStrikeError::Pdn(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<UartError> for DeepStrikeError {
+    fn from(e: UartError) -> Self {
+        DeepStrikeError::Link(e)
     }
 }
 

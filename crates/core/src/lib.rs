@@ -19,6 +19,10 @@
 //!   attacker sharing one PDN, remotely driven over [`uart`].
 //! * [`attack`] — profile → plan → launch → score, with the blind
 //!   baseline.
+//! * [`remote`] — the same campaign driven end-to-end over the lossy
+//!   [`uart`] link: reliable transport, per-phase checkpoints, resume
+//!   after disconnect, and the Fresh → Checkpoint → Blind guidance
+//!   degradation ladder.
 //! * [`hypervisor`] — tenant combination, DRC gating and floorplanning on
 //!   the Zynq-7020 budget.
 //!
@@ -58,6 +62,7 @@ pub mod defense;
 pub mod detector;
 pub mod hypervisor;
 pub mod profile;
+pub mod remote;
 pub mod scheduler;
 pub mod signal_ram;
 pub mod striker;

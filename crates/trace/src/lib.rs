@@ -56,6 +56,9 @@ pub enum Stage {
     Accel,
     /// Victim network inference (`dnn`).
     Dnn,
+    /// Remote guidance over the serial link (`uart` transport,
+    /// `core::remote` campaign driver).
+    Remote,
 }
 
 impl Stage {
@@ -70,6 +73,64 @@ impl Stage {
             Stage::Pdn => "pdn",
             Stage::Accel => "accel",
             Stage::Dnn => "dnn",
+            Stage::Remote => "remote",
+        }
+    }
+}
+
+/// Phases of the remotely guided campaign (`core::remote`), in order.
+///
+/// Mirrors `core::remote::Phase` without depending on `core` (this crate
+/// sits below every other workspace crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RemotePhase {
+    /// Streaming TDC traces out and learning layer signatures.
+    Profile,
+    /// Compiling the attack scheme from the profile.
+    Plan,
+    /// Chunked scheme upload into the signal RAM.
+    Upload,
+    /// Arming the attack scheduler.
+    Arm,
+    /// The armed victim inference under strikes.
+    Strike,
+    /// Scoring the attack outcome.
+    Evaluate,
+}
+
+impl RemotePhase {
+    /// Stable lower-case name used in the JSONL rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            RemotePhase::Profile => "profile",
+            RemotePhase::Plan => "plan",
+            RemotePhase::Upload => "upload",
+            RemotePhase::Arm => "arm",
+            RemotePhase::Strike => "strike",
+            RemotePhase::Evaluate => "evaluate",
+        }
+    }
+}
+
+/// How the campaign's strike plan is being guided — the degradation
+/// ladder, best first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GuidanceLevel {
+    /// Fresh TDC traces streamed over the link this campaign.
+    Fresh,
+    /// The last checkpointed profile (link too lossy for fresh traces).
+    Checkpoint,
+    /// No profile at all: blind spray over the estimated inference span.
+    Blind,
+}
+
+impl GuidanceLevel {
+    /// Stable lower-case name used in the JSONL rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            GuidanceLevel::Fresh => "fresh",
+            GuidanceLevel::Checkpoint => "checkpoint",
+            GuidanceLevel::Blind => "blind",
         }
     }
 }
@@ -141,6 +202,20 @@ pub enum Event {
     /// One evaluation image scored: clean/attacked correctness plus the
     /// fault tally for the attacked pass.
     ImageScored { index: u64, clean_ok: bool, attacked_ok: bool, duplicate: u64, random: u64 },
+    /// The reliable transport retransmitted request `seq` (`attempt` is
+    /// 1-based: the first *re*transmission is attempt 1).
+    LinkRetry { seq: u64, attempt: u32 },
+    /// The reliable transport gave up on request `seq` after `attempts`
+    /// total transmissions.
+    LinkGaveUp { seq: u64, attempts: u32 },
+    /// A chunked upload acknowledged bytes up to `offset` of `total`.
+    UploadProgress { offset: u64, total: u64 },
+    /// The remote campaign checkpointed after completing `phase`.
+    CheckpointSaved { phase: RemotePhase },
+    /// The remote campaign resumed from a checkpoint at `phase`.
+    CampaignResumed { phase: RemotePhase },
+    /// The campaign stepped down the guidance ladder to `level`.
+    GuidanceDegraded { level: GuidanceLevel },
 }
 
 impl Event {
@@ -160,6 +235,12 @@ impl Event {
             Event::Inference { .. } => Stage::Dnn,
             Event::AttackPlanned { .. } => Stage::Scheduler,
             Event::ImageScored { .. } => Stage::Scheduler,
+            Event::LinkRetry { .. }
+            | Event::LinkGaveUp { .. }
+            | Event::UploadProgress { .. }
+            | Event::CheckpointSaved { .. }
+            | Event::CampaignResumed { .. }
+            | Event::GuidanceDegraded { .. } => Stage::Remote,
         }
     }
 
@@ -240,6 +321,39 @@ impl Event {
                 s,
                 r#"{{"ev":"image_scored","stage":"{}","index":{index},"clean_ok":{clean_ok},"attacked_ok":{attacked_ok},"duplicate":{duplicate},"random":{random}}}"#,
                 self.stage().name()
+            ),
+            Event::LinkRetry { seq, attempt } => write!(
+                s,
+                r#"{{"ev":"link_retry","stage":"{}","seq":{seq},"attempt":{attempt}}}"#,
+                self.stage().name()
+            ),
+            Event::LinkGaveUp { seq, attempts } => write!(
+                s,
+                r#"{{"ev":"link_gave_up","stage":"{}","seq":{seq},"attempts":{attempts}}}"#,
+                self.stage().name()
+            ),
+            Event::UploadProgress { offset, total } => write!(
+                s,
+                r#"{{"ev":"upload_progress","stage":"{}","offset":{offset},"total":{total}}}"#,
+                self.stage().name()
+            ),
+            Event::CheckpointSaved { phase } => write!(
+                s,
+                r#"{{"ev":"checkpoint_saved","stage":"{}","phase":"{}"}}"#,
+                self.stage().name(),
+                phase.name()
+            ),
+            Event::CampaignResumed { phase } => write!(
+                s,
+                r#"{{"ev":"campaign_resumed","stage":"{}","phase":"{}"}}"#,
+                self.stage().name(),
+                phase.name()
+            ),
+            Event::GuidanceDegraded { level } => write!(
+                s,
+                r#"{{"ev":"guidance_degraded","stage":"{}","level":"{}"}}"#,
+                self.stage().name(),
+                level.name()
             ),
         };
         s
@@ -519,6 +633,33 @@ mod tests {
         assert_eq!(current_capacity(), Some(123));
         session.finish();
         assert_eq!(current_capacity(), None);
+    }
+
+    #[test]
+    fn remote_events_render_stably() {
+        let log = TraceLog {
+            events: vec![
+                Event::LinkRetry { seq: 9, attempt: 2 },
+                Event::LinkGaveUp { seq: 9, attempts: 5 },
+                Event::UploadProgress { offset: 8, total: 16 },
+                Event::CheckpointSaved { phase: RemotePhase::Profile },
+                Event::CampaignResumed { phase: RemotePhase::Upload },
+                Event::GuidanceDegraded { level: GuidanceLevel::Blind },
+            ],
+            dropped: 0,
+        };
+        assert!(log.events.iter().all(|e| e.stage() == Stage::Remote));
+        assert_eq!(
+            log.to_jsonl(),
+            concat!(
+                "{\"ev\":\"link_retry\",\"stage\":\"remote\",\"seq\":9,\"attempt\":2}\n",
+                "{\"ev\":\"link_gave_up\",\"stage\":\"remote\",\"seq\":9,\"attempts\":5}\n",
+                "{\"ev\":\"upload_progress\",\"stage\":\"remote\",\"offset\":8,\"total\":16}\n",
+                "{\"ev\":\"checkpoint_saved\",\"stage\":\"remote\",\"phase\":\"profile\"}\n",
+                "{\"ev\":\"campaign_resumed\",\"stage\":\"remote\",\"phase\":\"upload\"}\n",
+                "{\"ev\":\"guidance_degraded\",\"stage\":\"remote\",\"level\":\"blind\"}\n",
+            )
+        );
     }
 
     #[test]

@@ -13,6 +13,11 @@ pub enum UartError {
     UnexpectedResponse(String),
     /// No response arrived within the polling budget.
     Timeout,
+    /// The reliable transport exhausted every retransmission attempt.
+    LinkDown {
+        /// Total transmissions tried (initial send + retries).
+        attempts: u32,
+    },
     /// The peer reported an application-level error code.
     Remote(u8),
 }
@@ -24,6 +29,9 @@ impl fmt::Display for UartError {
             UartError::MalformedMessage(msg) => write!(f, "malformed message: {msg}"),
             UartError::UnexpectedResponse(msg) => write!(f, "unexpected response: {msg}"),
             UartError::Timeout => write!(f, "timed out waiting for response"),
+            UartError::LinkDown { attempts } => {
+                write!(f, "link down: no response after {attempts} transmissions")
+            }
             UartError::Remote(code) => write!(f, "remote error code {code}"),
         }
     }

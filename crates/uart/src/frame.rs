@@ -55,7 +55,11 @@ fn cobs_decode(data: &[u8]) -> Option<Vec<u8>> {
     let mut i = 0usize;
     while i < data.len() {
         let code = data[i] as usize;
-        if code == 0 || i + code > data.len() + 1 {
+        // A valid block is fully contained: `code - 1` data bytes must
+        // follow the code byte (`i + code == data.len()` exactly at the
+        // final block). A truncated/corrupted block that claims more is a
+        // structure error, not a panic.
+        if code == 0 || i + code > data.len() {
             return None;
         }
         for &b in &data[i + 1..i + code] {
@@ -212,6 +216,16 @@ mod tests {
         let got = dec.push_bytes(&wire);
         assert_eq!(got, vec![b"ok".to_vec()]);
         assert_eq!(dec.corrupt_frames(), 1);
+    }
+
+    #[test]
+    fn overclaiming_code_byte_is_rejected_not_panicking() {
+        // Regression: a code byte claiming one more data byte than the
+        // block holds used to slice past the end. `[3, 1]` says "2 data
+        // bytes follow" but only 1 does.
+        assert_eq!(cobs_decode(&[3, 1]), None);
+        assert_eq!(cobs_decode(&[2]), None);
+        assert_eq!(cobs_decode(&[0xFF, 1, 2]), None);
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! * [`link`] — an in-memory full-duplex byte link standing in for the
 //!   physical UART (with fault injection for tests);
 //! * [`session`] — the attacker-side client and the FPGA-side shell that
-//!   dispatches commands into whatever implements [`session::ShellHandler`].
+//!   dispatches commands into whatever implements [`session::ShellHandler`];
+//! * [`transport`] — a reliable stop-and-wait layer over the lossy link:
+//!   sequence-numbered frames, ack/retransmit with capped exponential
+//!   backoff, a response replay cache for exactly-once execution, and a
+//!   chunked, resumable, CRC-verified scheme upload.
 //!
 //! # Example
 //!
@@ -30,6 +34,7 @@ pub mod frame;
 pub mod link;
 pub mod proto;
 pub mod session;
+pub mod transport;
 
 mod error;
 

@@ -29,6 +29,27 @@ pub enum Command {
     },
     /// Query scheduler status.
     Status,
+    /// Open a chunked scheme upload: declares the total length and the
+    /// CRC-16 the assembled bytes must match at commit.
+    UploadBegin {
+        /// Total scheme length in bytes.
+        total_len: u32,
+        /// CRC-16/CCITT-FALSE of the whole scheme.
+        crc: u16,
+    },
+    /// One in-order slice of an open upload (`offset` = bytes already
+    /// staged; slices at or before the staging watermark are idempotent).
+    UploadChunk {
+        /// Byte offset of this slice within the scheme.
+        offset: u32,
+        /// Slice bytes.
+        data: Vec<u8>,
+    },
+    /// Verify the staged bytes against the declared CRC and atomically
+    /// load them as the attack scheme.
+    UploadCommit,
+    /// Query upload staging progress (used to resume after a dropout).
+    UploadStatus,
 }
 
 /// FPGA → attacker responses.
@@ -41,6 +62,14 @@ pub enum Response {
     Ack,
     /// Scheduler status.
     Status(StatusInfo),
+    /// Upload staging progress: bytes received so far out of the declared
+    /// total (`0/0` when no upload is open).
+    Upload {
+        /// Bytes staged so far.
+        received: u32,
+        /// Declared total, 0 when no upload is open.
+        total: u32,
+    },
     /// Application-level error code.
     Error(u8),
 }
@@ -62,9 +91,14 @@ const TAG_READ_TRACE: u8 = 0x01;
 const TAG_LOAD_SCHEME: u8 = 0x02;
 const TAG_ARM: u8 = 0x03;
 const TAG_STATUS: u8 = 0x04;
+const TAG_UPLOAD_BEGIN: u8 = 0x05;
+const TAG_UPLOAD_CHUNK: u8 = 0x06;
+const TAG_UPLOAD_COMMIT: u8 = 0x07;
+const TAG_UPLOAD_STATUS: u8 = 0x08;
 const TAG_R_TRACE: u8 = 0x81;
 const TAG_R_ACK: u8 = 0x82;
 const TAG_R_STATUS: u8 = 0x84;
+const TAG_R_UPLOAD: u8 = 0x85;
 const TAG_R_ERROR: u8 = 0xFF;
 
 impl Command {
@@ -84,6 +118,21 @@ impl Command {
             }
             Command::Arm { enabled } => vec![TAG_ARM, u8::from(*enabled)],
             Command::Status => vec![TAG_STATUS],
+            Command::UploadBegin { total_len, crc } => {
+                let mut v = vec![TAG_UPLOAD_BEGIN];
+                v.extend_from_slice(&total_len.to_le_bytes());
+                v.extend_from_slice(&crc.to_le_bytes());
+                v
+            }
+            Command::UploadChunk { offset, data } => {
+                let mut v = vec![TAG_UPLOAD_CHUNK];
+                v.extend_from_slice(&offset.to_le_bytes());
+                v.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                v.extend_from_slice(data);
+                v
+            }
+            Command::UploadCommit => vec![TAG_UPLOAD_COMMIT],
+            Command::UploadStatus => vec![TAG_UPLOAD_STATUS],
         }
     }
 
@@ -124,6 +173,40 @@ impl Command {
                     Err(UartError::MalformedMessage("status takes no payload".into()))
                 }
             }
+            TAG_UPLOAD_BEGIN => {
+                if rest.len() != 6 {
+                    return Err(UartError::MalformedMessage("upload_begin length".into()));
+                }
+                Ok(Command::UploadBegin {
+                    total_len: u32::from_le_bytes(rest[..4].try_into().expect("len 4")),
+                    crc: u16::from_le_bytes(rest[4..6].try_into().expect("len 2")),
+                })
+            }
+            TAG_UPLOAD_CHUNK => {
+                if rest.len() < 8 {
+                    return Err(UartError::MalformedMessage("upload_chunk header".into()));
+                }
+                let offset = u32::from_le_bytes(rest[..4].try_into().expect("len 4"));
+                let len = u32::from_le_bytes(rest[4..8].try_into().expect("len 4")) as usize;
+                if rest.len() != 8 + len {
+                    return Err(UartError::MalformedMessage("upload_chunk body length".into()));
+                }
+                Ok(Command::UploadChunk { offset, data: rest[8..].to_vec() })
+            }
+            TAG_UPLOAD_COMMIT => {
+                if rest.is_empty() {
+                    Ok(Command::UploadCommit)
+                } else {
+                    Err(UartError::MalformedMessage("upload_commit takes no payload".into()))
+                }
+            }
+            TAG_UPLOAD_STATUS => {
+                if rest.is_empty() {
+                    Ok(Command::UploadStatus)
+                } else {
+                    Err(UartError::MalformedMessage("upload_status takes no payload".into()))
+                }
+            }
             other => Err(UartError::MalformedMessage(format!("unknown command tag {other:#x}"))),
         }
     }
@@ -144,6 +227,12 @@ impl Response {
                 let mut v = vec![TAG_R_STATUS, u8::from(s.armed), u8::from(s.triggered)];
                 v.extend_from_slice(&s.strikes_fired.to_le_bytes());
                 v.extend_from_slice(&s.scheme_bits.to_le_bytes());
+                v
+            }
+            Response::Upload { received, total } => {
+                let mut v = vec![TAG_R_UPLOAD];
+                v.extend_from_slice(&received.to_le_bytes());
+                v.extend_from_slice(&total.to_le_bytes());
                 v
             }
             Response::Error(code) => vec![TAG_R_ERROR, *code],
@@ -188,6 +277,15 @@ impl Response {
                     scheme_bits: u32::from_le_bytes(rest[6..10].try_into().expect("len 4")),
                 }))
             }
+            TAG_R_UPLOAD => {
+                if rest.len() != 8 {
+                    return Err(UartError::MalformedMessage("upload status length".into()));
+                }
+                Ok(Response::Upload {
+                    received: u32::from_le_bytes(rest[..4].try_into().expect("len 4")),
+                    total: u32::from_le_bytes(rest[4..8].try_into().expect("len 4")),
+                })
+            }
             TAG_R_ERROR => match rest {
                 [code] => Ok(Response::Error(*code)),
                 _ => Err(UartError::MalformedMessage("error code".into())),
@@ -210,6 +308,11 @@ mod tests {
             Command::Arm { enabled: true },
             Command::Arm { enabled: false },
             Command::Status,
+            Command::UploadBegin { total_len: 48, crc: 0xBEEF },
+            Command::UploadChunk { offset: 16, data: vec![9, 8, 7] },
+            Command::UploadChunk { offset: 0, data: vec![] },
+            Command::UploadCommit,
+            Command::UploadStatus,
         ];
         for c in cmds {
             let bytes = c.to_bytes();
@@ -229,6 +332,8 @@ mod tests {
                 strikes_fired: 4500,
                 scheme_bits: 9000,
             }),
+            Response::Upload { received: 32, total: 48 },
+            Response::Upload { received: 0, total: 0 },
             Response::Error(7),
         ];
         for r in resps {
@@ -246,6 +351,10 @@ mod tests {
         assert!(Response::from_bytes(&[]).is_err());
         assert!(Response::from_bytes(&[0x81, 5, 0, 0, 0]).is_err(), "short trace");
         assert!(Response::from_bytes(&[0x84, 1]).is_err(), "short status");
+        assert!(Command::from_bytes(&[0x05, 1, 2]).is_err(), "short upload_begin");
+        assert!(Command::from_bytes(&[0x06, 0, 0, 0, 0, 9, 0, 0, 0, 1]).is_err(), "short chunk");
+        assert!(Command::from_bytes(&[0x07, 1]).is_err(), "commit takes no payload");
+        assert!(Response::from_bytes(&[0x85, 1, 0, 0]).is_err(), "short upload state");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::error::{Result, UartError};
 use crate::frame::{encode_frame, FrameDecoder};
 use crate::link::Endpoint;
 use crate::proto::{Command, Response, StatusInfo};
+use crate::transport::{TransportConfig, ERR_UNSUPPORTED};
 
 /// What the FPGA side must implement to service the protocol.
 pub trait ShellHandler {
@@ -62,6 +63,14 @@ impl Shell {
                     Err(code) => Response::Error(code),
                 },
                 Ok(Command::Status) => Response::Status(handler.status()),
+                // Chunked uploads need the seq-aware transport shell's
+                // staging state machine; the bare shell rejects them.
+                Ok(
+                    Command::UploadBegin { .. }
+                    | Command::UploadChunk { .. }
+                    | Command::UploadCommit
+                    | Command::UploadStatus,
+                ) => Response::Error(ERR_UNSUPPORTED),
                 Err(_) => Response::Error(0xFE),
             };
             self.endpoint.send(&encode_frame(&response.to_bytes()));
@@ -84,12 +93,27 @@ impl Shell {
 pub struct Client {
     endpoint: Endpoint,
     decoder: FrameDecoder,
+    config: TransportConfig,
 }
 
 impl Client {
-    /// Wraps a link endpoint.
+    /// Wraps a link endpoint with the default [`TransportConfig`]
+    /// (100-iteration pump budget, matching the historical behaviour).
     pub fn new(endpoint: Endpoint) -> Self {
-        Client { endpoint, decoder: FrameDecoder::new() }
+        Client::with_config(endpoint, TransportConfig::default())
+    }
+
+    /// Wraps a link endpoint with an explicit timeout configuration; only
+    /// [`TransportConfig::pump_budget`] is used by this unreliable client
+    /// (retransmission fields apply to [`crate::transport::
+    /// TransportClient`]).
+    pub fn with_config(endpoint: Endpoint, config: TransportConfig) -> Self {
+        Client { endpoint, decoder: FrameDecoder::new(), config }
+    }
+
+    /// The active timeout configuration.
+    pub fn config(&self) -> &TransportConfig {
+        &self.config
     }
 
     /// Sends a command without waiting.
@@ -120,12 +144,13 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// [`UartError::Timeout`] if no response arrives within 100 pump
-    /// iterations; [`UartError::Remote`] if the shell answered with an
-    /// error; decoding errors pass through.
+    /// [`UartError::Timeout`] if no response arrives within
+    /// [`TransportConfig::pump_budget`] pump iterations (default 100);
+    /// [`UartError::Remote`] if the shell answered with an error;
+    /// decoding errors pass through.
     pub fn transact_with(&mut self, command: &Command, mut pump: impl FnMut()) -> Result<Response> {
         self.send(command);
-        for _ in 0..100 {
+        for _ in 0..self.config.pump_budget {
             pump();
             let mut responses = self.poll_responses()?;
             if let Some(r) = responses.pop() {
@@ -236,6 +261,28 @@ mod tests {
         let (mut client, _shell, _fpga) = rig();
         let err = client.transact_with(&Command::Status, || {}).unwrap_err();
         assert_eq!(err, UartError::Timeout);
+    }
+
+    #[test]
+    fn pump_budget_is_configurable() {
+        let (a, _b) = Endpoint::pair();
+        let config = TransportConfig { pump_budget: 7, ..TransportConfig::default() };
+        let mut client = Client::with_config(a, config);
+        let mut pumps = 0u32;
+        let err = client.transact_with(&Command::Status, || pumps += 1).unwrap_err();
+        assert_eq!(err, UartError::Timeout);
+        assert_eq!(pumps, 7, "timeout honours the configured budget");
+    }
+
+    #[test]
+    fn bare_shell_rejects_upload_commands() {
+        let (mut client, mut shell, mut fpga) = rig();
+        let err = client
+            .transact_with(&Command::UploadStatus, || {
+                shell.poll(&mut fpga);
+            })
+            .unwrap_err();
+        assert_eq!(err, UartError::Remote(ERR_UNSUPPORTED));
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Failure-path tests: corrupted links, oversized schemes, rejected
 //! bitstreams, unstable configurations.
 
+use accel::fault::FaultModel;
 use accel::schedule::AccelConfig;
+use bench::golden::{accel_config, cosim_config, golden_images, tiny_dense_victim};
 use deepstrike::cosim::{CloudFpga, CosimConfig};
+use deepstrike::remote::{RemoteCampaign, RemoteConfig, RemotePhase, SimHost};
 use deepstrike::signal_ram::{AttackScheme, SignalRam, BRAM36_BITS};
 use deepstrike::DeepStrikeError;
 use dnn::fixed::QFormat;
@@ -15,9 +18,10 @@ use fpga_fabric::netlist::Netlist;
 use fpga_fabric::FabricError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use uart::link::Endpoint;
-use uart::proto::Command;
+use uart::link::{Endpoint, FaultConfig};
+use uart::proto::{Command, Response};
 use uart::session::{Client, Shell};
+use uart::transport::{TransportClient, TransportConfig, TransportShell};
 use uart::UartError;
 
 fn small_victim() -> QuantizedNetwork {
@@ -148,6 +152,173 @@ fn hypervisor_rejects_ring_oscillator_tenant() {
     )
     .unwrap_err();
     assert!(matches!(err, FabricError::DrcRejected { .. }));
+}
+
+/// A tiny-victim platform on the shared golden fixtures, for the remote
+/// checkpoint/resume tests below.
+fn remote_platform() -> CloudFpga {
+    let mut fpga = CloudFpga::new(&tiny_dense_victim(), &accel_config(), 16_000, cosim_config())
+        .expect("platform assembles");
+    fpga.settle(30);
+    fpga
+}
+
+/// Transport tuned so a disconnect window comfortably outlasts the whole
+/// retry span (4 + 8 + 16 pumps), forcing a resumable `LinkDown`. The
+/// tiny chunks stretch the upload phase across several exchanges so the
+/// disconnect window below can be aimed into it.
+fn brittle_transport() -> TransportConfig {
+    TransportConfig { pump_budget: 4, max_retries: 2, backoff_cap: 16, chunk_len: 4 }
+}
+
+fn remote_config() -> RemoteConfig {
+    let mut config = RemoteConfig::new(&["fc1", "fc2"], "fc1", 6);
+    config.read_chunk = 32;
+    config
+}
+
+fn remote_host(endpoint: Endpoint) -> SimHost {
+    SimHost::new(
+        remote_platform(),
+        TransportShell::new(endpoint),
+        tiny_dense_victim(),
+        golden_images(6),
+        FaultModel::paper(),
+    )
+}
+
+#[test]
+fn disconnect_resumes_from_checkpoint_to_the_uninterrupted_result() {
+    // Reference: the same campaign on a clean link. Besides the expected
+    // outcome this yields the campaign's tick footprint, which is used to
+    // aim the disconnect window at the post-profile phases (after the
+    // plan is checkpointed, so the interrupted run must not re-plan).
+    let (a, b) = Endpoint::pair();
+    let mut clean_link = TransportClient::with_config(a, brittle_transport());
+    let mut clean_host = remote_host(b);
+    let reference = RemoteCampaign::new(remote_config())
+        .run(&mut clean_link, &mut clean_host)
+        .expect("clean campaign completes");
+    let total_ticks = clean_link.endpoint_mut().now();
+
+    // Same campaign, but the link dies shortly before the clean campaign
+    // would have finished and stays dead past several retry spans.
+    // The clean campaign ends with 9 post-profile exchanges (upload
+    // status + begin + four 4-byte chunks + commit, then arm, then the
+    // strike status), one link tick each; 7 ticks back sits mid-upload.
+    let fault = FaultConfig {
+        disconnects: vec![(total_ticks.saturating_sub(7), 90)],
+        ..FaultConfig::default()
+    };
+    let (a, b) = Endpoint::faulty_pair(fault, 17);
+    let mut link = TransportClient::with_config(a, brittle_transport());
+    let mut host = remote_host(b);
+    let mut campaign = RemoteCampaign::new(remote_config());
+
+    let mut interrupted_phases = Vec::new();
+    let outcome = loop {
+        match campaign.run(&mut link, &mut host) {
+            Ok(o) => break o,
+            Err(DeepStrikeError::Interrupted { phase }) => {
+                interrupted_phases.push(phase);
+                assert!(interrupted_phases.len() < 40, "campaign never recovered");
+            }
+            Err(e) => panic!("unexpected hard failure: {e}"),
+        }
+    };
+
+    assert!(!interrupted_phases.is_empty(), "the dead window must interrupt the campaign");
+    // The window is aimed past profiling: the checkpointed profile and
+    // plan must survive every interrupt (this is what "resume" means —
+    // the campaign picks up mid-sequence instead of starting over).
+    for phase in &interrupted_phases {
+        assert!(
+            matches!(phase, RemotePhase::Upload | RemotePhase::Arm | RemotePhase::Strike),
+            "interrupt landed before the plan was checkpointed: {interrupted_phases:?}"
+        );
+    }
+    let ckpt = campaign.checkpoint();
+    assert_eq!(ckpt.completed_traces, remote_config().profile_runs, "profile survived");
+    assert_eq!(outcome.guidance, deepstrike::remote::GuidanceLevel::Fresh);
+    assert_eq!(outcome.scheme, reference.scheme, "resume must not re-plan a different scheme");
+}
+
+#[test]
+fn aborted_mid_transfer_upload_leaves_the_armed_scheme_untouched() {
+    let mut fpga = remote_platform();
+    let (a, b) = Endpoint::pair();
+    let mut link = TransportClient::new(a);
+    let mut shell = TransportShell::new(b);
+
+    // Establish an armed baseline over the transport.
+    let scheme = AttackScheme { delay_cycles: 24, strikes: 4, strike_cycles: 1, gap_cycles: 9 };
+    link.upload_scheme(&scheme.to_bytes(), || {
+        shell.poll(&mut fpga);
+    })
+    .expect("baseline upload");
+    let armed = link
+        .transact(&Command::Arm { enabled: true }, || {
+            shell.poll(&mut fpga);
+        })
+        .expect("arms");
+    assert_eq!(armed, Response::Ack);
+    let baseline = match link
+        .transact(&Command::Status, || {
+            shell.poll(&mut fpga);
+        })
+        .expect("status")
+    {
+        Response::Status(s) => s,
+        other => panic!("status answered {other:?}"),
+    };
+    assert!(baseline.armed);
+
+    // A replacement upload starts, stages one chunk — and the attacker
+    // vanishes before commit.
+    let replacement = AttackScheme { delay_cycles: 0, strikes: 9, strike_cycles: 2, gap_cycles: 1 };
+    let bytes = replacement.to_bytes();
+    let begin = link
+        .transact(
+            &Command::UploadBegin {
+                total_len: bytes.len() as u32,
+                crc: uart::frame::crc16(&bytes),
+            },
+            || {
+                shell.poll(&mut fpga);
+            },
+        )
+        .expect("upload opens");
+    assert_eq!(begin, Response::Upload { received: 0, total: bytes.len() as u32 });
+    let staged = link
+        .transact(&Command::UploadChunk { offset: 0, data: bytes[..8].to_vec() }, || {
+            shell.poll(&mut fpga);
+        })
+        .expect("chunk stages");
+    assert_eq!(staged, Response::Upload { received: 8, total: bytes.len() as u32 });
+    assert_eq!(shell.staged_bytes(), Some(8), "transfer died mid-flight");
+
+    // The armed state is exactly what it was: staging is not loading.
+    let after = match link
+        .transact(&Command::Status, || {
+            shell.poll(&mut fpga);
+        })
+        .expect("status after abort")
+    {
+        Response::Status(s) => s,
+        other => panic!("status answered {other:?}"),
+    };
+    assert_eq!(after, baseline, "an uncommitted upload must not disturb the scheduler");
+
+    // And the strike run that follows executes the *old* scheme: the
+    // first strike honours the baseline's 24-cycle delay, which the
+    // staged replacement (delay 0) would not.
+    let run = fpga.run_inference();
+    let trigger = run.triggered_cycle.expect("detector latches");
+    let first_strike = *run.strike_cycles.first().expect("armed scheduler still strikes");
+    assert!(
+        first_strike >= trigger + u64::from(scheme.delay_cycles),
+        "first strike at {first_strike} ignores the armed scheme's delay (trigger {trigger})"
+    );
 }
 
 #[test]

@@ -1,0 +1,151 @@
+//! Chaos suite for the remotely-guided campaign (DESIGN.md §9).
+//!
+//! The whole attack — profile, plan, upload, arm, strike, evaluate —
+//! runs through the reliable transport over links with 10% combined
+//! loss+corruption (bursty), jitter and a forced disconnect window, and
+//! must converge to *exactly* the scheme and accuracy drop the local
+//! direct-drive campaign produces on an identical platform: the channel
+//! may cost retransmissions and resumes, never guidance fidelity.
+//!
+//! `DEEPSTRIKE_THREADS` is process-global, so the thread sweep and every
+//! link seed live in this single test (see `tests/golden_trace.rs` for
+//! the same pattern).
+
+use accel::fault::FaultModel;
+use bench::golden::{accel_config, cosim_config, golden_images, tiny_dense_victim, GOLDEN_SEED};
+use deepstrike::attack::{evaluate_attack, plan_attack, profile_victim};
+use deepstrike::cosim::CloudFpga;
+use deepstrike::remote::{GuidanceLevel, RemoteCampaign, RemoteConfig, SimHost};
+use deepstrike::DeepStrikeError;
+use uart::link::{Endpoint, FaultConfig};
+use uart::transport::{TransportClient, TransportConfig, TransportShell};
+
+/// Combined loss+corruption rate, split evenly between the two.
+const CHAOS_RATE: f64 = 0.10;
+
+/// Independent channel realisations per thread count.
+const LINK_SEEDS: &[u64] = &[7, 21, 42];
+
+/// Resume budget before a link seed is declared not converged.
+const MAX_RESUMES: u32 = 200;
+
+fn platform() -> CloudFpga {
+    let mut fpga = CloudFpga::new(&tiny_dense_victim(), &accel_config(), 16_000, cosim_config())
+        .expect("platform assembles");
+    fpga.settle(30);
+    fpga
+}
+
+fn campaign_config() -> RemoteConfig {
+    let mut config = RemoteConfig::new(&["fc1", "fc2"], "fc1", 6);
+    config.read_chunk = 32; // short response frames survive lossy links
+    config.eval_seed = GOLDEN_SEED;
+    config
+}
+
+/// The 10% chaos channel: bursty loss and corruption, delivery jitter,
+/// and one disconnect window dropped into the profiling stream.
+fn chaos_channel(seed: u64) -> (Endpoint, Endpoint) {
+    let fault = FaultConfig {
+        loss: CHAOS_RATE / 2.0,
+        corrupt: CHAOS_RATE / 2.0,
+        burst_len: 16.0,
+        max_jitter: 2,
+        disconnects: vec![(40, 30)],
+    };
+    Endpoint::faulty_pair(fault, seed)
+}
+
+fn chaos_transport() -> TransportConfig {
+    TransportConfig { pump_budget: 30, max_retries: 12, backoff_cap: 480, chunk_len: 12 }
+}
+
+#[test]
+fn chaos_links_never_change_the_campaign_result() {
+    let prior = std::env::var(par::THREADS_ENV).ok();
+    let mut references = Vec::new();
+
+    for threads in ["1", "8"] {
+        std::env::set_var(par::THREADS_ENV, threads);
+        let config = campaign_config();
+        let q = tiny_dense_victim();
+
+        // Local reference: the direct driver on an identical platform.
+        let mut local = platform();
+        let profile = profile_victim(&mut local, &["fc1", "fc2"], config.profile_runs)
+            .expect("local profile");
+        let local_scheme = plan_attack(&profile, "fc1", config.strikes).expect("local plan");
+        local.scheduler_mut().load_scheme(&local_scheme).expect("loads");
+        local.scheduler_mut().arm(true).expect("arms");
+        let run = local.run_inference();
+        let local_outcome = evaluate_attack(
+            &q,
+            local.schedule(),
+            &run,
+            golden_images(6).iter().map(|(t, y)| (t, *y)),
+            FaultModel::paper(),
+            config.eval_seed,
+        );
+        references.push((local_scheme, local_outcome));
+
+        for &seed in LINK_SEEDS {
+            let (a, b) = chaos_channel(seed);
+            let mut link = TransportClient::with_config(a, chaos_transport());
+            let mut host = SimHost::new(
+                platform(),
+                TransportShell::new(b),
+                q.clone(),
+                golden_images(6),
+                FaultModel::paper(),
+            );
+            let mut campaign = RemoteCampaign::new(campaign_config());
+            let mut resumes = 0u32;
+            let remote = loop {
+                match campaign.run(&mut link, &mut host) {
+                    Ok(o) => break o,
+                    Err(DeepStrikeError::Interrupted { .. }) => {
+                        resumes += 1;
+                        assert!(
+                            resumes <= MAX_RESUMES,
+                            "link seed {seed} @ {threads} threads never converged"
+                        );
+                    }
+                    Err(e) => panic!("link seed {seed} @ {threads} threads failed hard: {e}"),
+                }
+            };
+
+            let ctx = format!("link seed {seed} @ {threads} threads");
+            assert_eq!(
+                remote.guidance,
+                GuidanceLevel::Fresh,
+                "{ctx}: the chaos channel must cost retries, not guidance"
+            );
+            assert_eq!(
+                remote.scheme, local_scheme,
+                "{ctx}: remote campaign planned a different scheme"
+            );
+            assert_eq!(
+                remote.outcome, local_outcome,
+                "{ctx}: remote campaign scored a different outcome"
+            );
+            assert!(remote.remote_strikes_fired >= 1, "{ctx}: no strike landed");
+            // The channel was genuinely hostile: the transport had to work.
+            assert!(
+                link.stats().retransmissions >= 1,
+                "{ctx}: a 10% channel should have cost at least one retry"
+            );
+        }
+    }
+
+    // The local reference itself is thread-count invariant, so every
+    // remote run above converged to one single (scheme, outcome) pair.
+    let (first, rest) = references.split_first().expect("two thread counts ran");
+    for other in rest {
+        assert_eq!(first, other, "local reference must not depend on DEEPSTRIKE_THREADS");
+    }
+
+    match prior {
+        Some(v) => std::env::set_var(par::THREADS_ENV, v),
+        None => std::env::remove_var(par::THREADS_ENV),
+    }
+}
