@@ -72,20 +72,27 @@ fn main() {
         ("mlp", &mlp, &["fc1", "fc2", "fc3"], "fc1"),
         ("deep_cnn", &deep, &["conv1", "pool1", "conv2", "pool2", "conv3", "fc1", "fc2"], "conv1"),
     ];
-    let results: Vec<(&str, (f64, f64))> =
-        par::map_items(&jobs, |&(name, q, layers, target)| (name, attack(q, layers, target)));
+    // Checkpointed through the crash-safe supervisor when
+    // `DEEPSTRIKE_CHECKPOINT_DIR` is set (DESIGN.md §10).
+    let results: Vec<(f64, f64)> =
+        bench::supervisor::supervised_sweep("arch_sweep", &jobs, |&(_, q, layers, target)| {
+            attack(q, layers, target)
+        })
+        .into_iter()
+        .map(|r| r.expect("architecture campaign panicked; see supervisor report"))
+        .collect();
     emit_series(
         "Architecture sweep: guided attack on the first compute layer",
         "architecture,clean_pct,attacked_pct,drop_pts",
-        results.iter().map(|(name, (c, a))| {
+        jobs.iter().zip(&results).map(|(&(name, ..), (c, a))| {
             format!("{name},{:.2},{:.2},{:.2}", c * 100.0, a * 100.0, (c - a) * 100.0)
         }),
     );
     // Conv-front architectures must lose accuracy; the all-dense MLP's
     // serial accumulations absorb duplication faults (paper §IV-A), so it
     // is the most resilient of the three.
-    let lenet_drop = (results[0].1 .0 - results[0].1 .1) * 100.0;
-    let mlp_drop = (results[1].1 .0 - results[1].1 .1) * 100.0;
+    let lenet_drop = (results[0].0 - results[0].1) * 100.0;
+    let mlp_drop = (results[1].0 - results[1].1) * 100.0;
     assert!(lenet_drop >= 1.5, "LeNet must be damaged ({lenet_drop:.2})");
     assert!(
         mlp_drop < lenet_drop,

@@ -46,7 +46,9 @@ fn main() {
     // Every campaign point starts from the same post-profiling platform
     // snapshot and runs on the worker pool (`DEEPSTRIKE_THREADS`); results
     // merge in job order, so the emitted series is identical at any
-    // thread count.
+    // thread count. The sweep runs under the crash-safe supervisor: set
+    // `DEEPSTRIKE_CHECKPOINT_DIR` to make an interrupted run resumable
+    // with byte-identical output (see DESIGN.md §10).
     struct CampaignPoint {
         target: &'static str,
         strikes: u32,
@@ -67,7 +69,7 @@ fn main() {
         points.push(CampaignPoint { target: "blind", strikes, blind: true });
     }
 
-    let outcomes = par::map_items(&points, |p| {
+    let outcomes = bench::supervisor::supervised_sweep("fig5b", &points, |p| {
         let mut fpga = fpga.clone();
         let scheme = if p.blind {
             plan_blind(fpga.schedule(), p.strikes)
@@ -103,6 +105,7 @@ fn main() {
     let mut fc1_max_drop = 0.0f64;
     let mut blind_max_drop = 0.0f64;
     for (point, outcome) in points.iter().zip(&outcomes) {
+        let outcome = outcome.as_ref().expect("campaign point panicked; see supervisor report");
         let Some(outcome) = outcome else { continue };
         let drop = outcome.accuracy_drop();
         match point.target {

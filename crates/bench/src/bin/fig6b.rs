@@ -43,9 +43,11 @@ fn main() {
     let model = FaultModel::paper();
 
     // Sweep points are independently seeded (`HARNESS_SEED ^ cells`), so
-    // they fan out on the worker pool and merge back in cell order.
+    // they fan out on the worker pool and merge back in cell order. The
+    // crash-safe supervisor makes the sweep resumable when
+    // `DEEPSTRIKE_CHECKPOINT_DIR` is set (DESIGN.md §10).
     let sweep: Vec<usize> = (0..=28_000usize).step_by(2_000).collect();
-    let results = par::map_items(&sweep, |&cells| {
+    let results = bench::supervisor::supervised_sweep("fig6b", &sweep, |&cells| {
         let v = strike_voltage(cells);
         let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ cells as u64);
         let mut pe = PeArray::new(8, model);
@@ -63,7 +65,8 @@ fn main() {
     let mut total_at_24k = 0.0f64;
     let mut dup_peak = 0.0f64;
     let mut onset_cells = None;
-    for (&cells, &(v, dup, rnd, total)) in sweep.iter().zip(&results) {
+    for (&cells, result) in sweep.iter().zip(&results) {
+        let (v, dup, rnd, total) = result.expect("sweep point panicked; see supervisor report");
         if total > 0.005 && onset_cells.is_none() {
             onset_cells = Some(cells);
         }

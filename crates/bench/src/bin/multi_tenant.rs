@@ -44,9 +44,17 @@ fn main() {
     // Warm the trained-LeNet cache once so the parallel scenarios below
     // both load the same cached victim instead of racing to train it.
     let _ = trained_lenet();
+    // Checkpointed through the crash-safe supervisor when
+    // `DEEPSTRIKE_CHECKPOINT_DIR` is set (DESIGN.md §10).
     let scenarios = [None, Some(Bystander { pos: (0.5, 0.15), amps: 0.1, period_cycles: 32 })];
-    let results = par::map_items(&scenarios, |s| run_scenario(*s));
-    let (two, three) = (results[0], results[1]);
+    let results = bench::supervisor::supervised_sweep("multi_tenant", &scenarios, |s| {
+        let (clean, attacked, strikes) = run_scenario(*s);
+        (clean, attacked, strikes as u64)
+    });
+    let scenario = |i: usize| -> (f64, f64, u64) {
+        results[i].expect("tenant scenario panicked; see supervisor report")
+    };
+    let (two, three) = (scenario(0), scenario(1));
     emit_series(
         "Multi-tenant extension: attack effectiveness with 2 vs 3 tenants",
         "tenants,clean_pct,attacked_pct,drop_pts,strikes_fired",

@@ -15,6 +15,8 @@
 
 use accel::fault::FaultModel;
 use bench::golden::{accel_config, cosim_config, golden_images, tiny_dense_victim, GOLDEN_SEED};
+use bench::supervisor::SliceCodec;
+use ckpt::wire;
 use deepstrike::attack::{evaluate_attack, plan_attack, profile_victim};
 use deepstrike::cosim::CloudFpga;
 use deepstrike::remote::{RemoteCampaign, RemoteConfig, SimHost};
@@ -47,6 +49,43 @@ fn campaign_config() -> RemoteConfig {
     config
 }
 
+/// One sweep point's result, in the exact shape the report needs — the
+/// campaign itself (platform, link, transport) is reconstructed inside the
+/// sweep closure, so a checkpointed row replays identically on resume.
+#[derive(Clone)]
+struct PointRow {
+    converged: bool,
+    resumes: u32,
+    retx: u64,
+    replays: u64,
+    guidance: String,
+    matched: bool,
+    drop_pts: f64,
+}
+
+impl SliceCodec for PointRow {
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_bool(out, self.converged);
+        wire::put_u32(out, self.resumes);
+        wire::put_u64(out, self.retx);
+        wire::put_u64(out, self.replays);
+        wire::put_bytes(out, self.guidance.as_bytes());
+        wire::put_bool(out, self.matched);
+        wire::put_f64(out, self.drop_pts);
+    }
+    fn decode(r: &mut wire::Reader<'_>) -> Option<Self> {
+        Some(PointRow {
+            converged: r.take_bool()?,
+            resumes: r.take_u32()?,
+            retx: r.take_u64()?,
+            replays: r.take_u64()?,
+            guidance: String::from_utf8(r.take_bytes()?.to_vec()).ok()?,
+            matched: r.take_bool()?,
+            drop_pts: r.take_f64()?,
+        })
+    }
+}
+
 fn main() {
     let q = tiny_dense_victim();
     let config = campaign_config();
@@ -74,12 +113,19 @@ fn main() {
     );
     println!("# rate seed resumes retx replays guidance scheme_match drop_pts");
 
-    let mut all_converged = true;
-    let mut all_matched_at_10pct = true;
-    let mut retx_per_rate: Vec<u64> = Vec::new();
+    // Each (rate, seed) point is an independent campaign; the crash-safe
+    // supervisor checkpoints completed rows when
+    // `DEEPSTRIKE_CHECKPOINT_DIR` is set (DESIGN.md §10), and all output
+    // is printed after the sweep, so a resumed run's stdout is
+    // byte-identical to an uninterrupted one.
+    let mut points: Vec<(f64, u64)> = Vec::new();
     for &rate in FAULT_RATES {
-        let mut rate_retx = 0u64;
         for &seed in LINK_SEEDS {
+            points.push((rate, seed));
+        }
+    }
+    let rows: Vec<PointRow> =
+        bench::supervisor::supervised_sweep("remote_campaign", &points, |&(rate, seed)| {
             let fault = FaultConfig {
                 loss: rate / 2.0,
                 corrupt: rate / 2.0,
@@ -118,28 +164,58 @@ fn main() {
                     Err(e) => panic!("sweep point (rate {rate}, seed {seed}) failed: {e}"),
                 }
             };
-            rate_retx += link.stats().retransmissions;
+            let (retx, replays) = (link.stats().retransmissions, host.shell().replayed());
             match outcome {
-                Some(o) => {
-                    let matched = o.scheme == local_scheme && o.outcome == local_outcome;
-                    if rate <= 0.10 && !matched {
-                        all_matched_at_10pct = false;
-                    }
-                    println!(
-                        "{rate:.2} {seed} {resumes} {retx} {replays} {guidance} {matched} {drop:.2}",
-                        retx = link.stats().retransmissions,
-                        replays = host.shell().replayed(),
-                        guidance = o.guidance.name(),
-                        drop = o.outcome.accuracy_drop(),
-                    );
-                }
-                None => {
-                    all_converged = false;
-                    println!("{rate:.2} {seed} {resumes} - - no_convergence false -");
-                }
+                Some(o) => PointRow {
+                    converged: true,
+                    resumes,
+                    retx,
+                    replays,
+                    guidance: o.guidance.name().to_string(),
+                    matched: o.scheme == local_scheme && o.outcome == local_outcome,
+                    drop_pts: o.outcome.accuracy_drop(),
+                },
+                None => PointRow {
+                    converged: false,
+                    resumes,
+                    retx,
+                    replays,
+                    guidance: "no_convergence".to_string(),
+                    matched: false,
+                    drop_pts: f64::NAN,
+                },
             }
+        })
+        .into_iter()
+        .map(|r| r.expect("sweep point panicked; see supervisor report"))
+        .collect();
+
+    let mut all_converged = true;
+    let mut all_matched_at_10pct = true;
+    let mut retx_per_rate: Vec<u64> = vec![0; FAULT_RATES.len()];
+    for (&(rate, seed), row) in points.iter().zip(&rows) {
+        let rate_idx = FAULT_RATES.iter().position(|&r| r == rate).expect("rate is in FAULT_RATES");
+        retx_per_rate[rate_idx] += row.retx;
+        if row.converged {
+            if rate <= 0.10 && !row.matched {
+                all_matched_at_10pct = false;
+            }
+            println!(
+                "{rate:.2} {seed} {resumes} {retx} {replays} {guidance} {matched} {drop:.2}",
+                resumes = row.resumes,
+                retx = row.retx,
+                replays = row.replays,
+                guidance = row.guidance,
+                matched = row.matched,
+                drop = row.drop_pts,
+            );
+        } else {
+            all_converged = false;
+            println!(
+                "{rate:.2} {seed} {resumes} - - no_convergence false -",
+                resumes = row.resumes
+            );
         }
-        retx_per_rate.push(rate_retx);
     }
 
     // The paper-shaped claims: every point converges, guidance through

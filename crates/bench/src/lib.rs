@@ -16,6 +16,7 @@
 
 pub mod golden;
 pub mod report;
+pub mod supervisor;
 
 use std::fs;
 use std::path::PathBuf;

@@ -374,6 +374,8 @@ pub fn evaluate_attack<'a>(
         let mut hook =
             StrikeHook::new(net, schedule, run, fault_model, seed.wrapping_add(i as u64));
         let (logits, tally) = infer_with_faults(net, x, &mut hook, rng);
+        // Invariant: a QuantizedNetwork always ends in a layer with at
+        // least one output class, so the logits vector is non-empty.
         let predicted = logits
             .iter()
             .enumerate()

@@ -140,6 +140,7 @@ pub fn settling_samples(trace: &Trace, from: usize, v_nom: f64, band: f64) -> Op
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

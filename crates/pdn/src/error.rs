@@ -11,6 +11,10 @@ pub enum PdnError {
     UnstableTimestep { dt: f64, max_dt: f64 },
     /// A grid coordinate or node index was out of range.
     OutOfRange(String),
+    /// Numeric integration diverged (non-finite or runaway state) and
+    /// step-halving recovery gave up. `value` is the offending state
+    /// sample; `dt` the requested (pre-halving) timestep.
+    SolverDiverged { dt: f64, value: f64 },
 }
 
 impl fmt::Display for PdnError {
@@ -23,6 +27,13 @@ impl fmt::Display for PdnError {
                 write!(f, "timestep {dt:.3e} s exceeds stability bound {max_dt:.3e} s")
             }
             PdnError::OutOfRange(what) => write!(f, "{what} out of range"),
+            PdnError::SolverDiverged { dt, value } => {
+                write!(
+                    f,
+                    "solver diverged at dt {dt:.3e} s (state reached {value:.3e}) \
+                     after step-halving recovery gave up"
+                )
+            }
         }
     }
 }
@@ -33,6 +44,7 @@ impl Error for PdnError {}
 pub type Result<T> = std::result::Result<T, PdnError>;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -42,5 +54,7 @@ mod tests {
         assert!(e.to_string().contains("c_die"));
         let e = PdnError::UnstableTimestep { dt: 1e-6, max_dt: 1e-9 };
         assert!(e.to_string().contains("stability"));
+        let e = PdnError::SolverDiverged { dt: 1e-9, value: f64::INFINITY };
+        assert!(e.to_string().contains("diverged"));
     }
 }

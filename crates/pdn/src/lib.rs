@@ -36,6 +36,8 @@
 //! assert!(worst < quiet - 0.02, "burst must droop the rail");
 //! ```
 
+#![deny(clippy::unwrap_used)]
+
 pub mod analysis;
 pub mod delay;
 pub mod grid;

@@ -82,6 +82,7 @@ impl LoadBook {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

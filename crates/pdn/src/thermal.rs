@@ -73,6 +73,8 @@ impl ThermalModel {
 
     /// Model with default Zynq-like parameters.
     pub fn zynq_like() -> Self {
+        // Invariant: `ThermalParams::default()` is a static, in-range
+        // literal set, so validation cannot fail.
         ThermalModel::new(ThermalParams::default()).expect("static parameters are valid")
     }
 
@@ -112,6 +114,7 @@ impl ThermalModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -59,6 +59,9 @@ pub enum Stage {
     /// Remote guidance over the serial link (`uart` transport,
     /// `core::remote` campaign driver).
     Remote,
+    /// The crash-safety supervisor layer (`par` quarantine, durable
+    /// checkpoints, phase watchdog).
+    Supervisor,
 }
 
 impl Stage {
@@ -74,6 +77,7 @@ impl Stage {
             Stage::Accel => "accel",
             Stage::Dnn => "dnn",
             Stage::Remote => "remote",
+            Stage::Supervisor => "supervisor",
         }
     }
 }
@@ -216,6 +220,19 @@ pub enum Event {
     CampaignResumed { phase: RemotePhase },
     /// The campaign stepped down the guidance ladder to `level`.
     GuidanceDegraded { level: GuidanceLevel },
+    /// A parallel-sweep work item panicked and was quarantined instead of
+    /// poisoning the join. Emitted by the merge step in index order, so
+    /// the trail is identical at any `DEEPSTRIKE_THREADS`.
+    WorkerQuarantined { index: u64 },
+    /// A durable checkpoint generation was written and fsynced to disk.
+    CheckpointFsync { generation: u64, bytes: u64 },
+    /// A campaign phase blew its simulated-cycle or wall-clock budget and
+    /// the watchdog forced a resumable interrupt (degrade, don't die).
+    PhaseDeadlineExceeded { phase: RemotePhase },
+    /// The PDN solver detected a diverging integration slice and retried
+    /// it with a halved timestep (`halvings` is the cumulative count for
+    /// the slice, 1-based).
+    SolverStepHalved { halvings: u32 },
 }
 
 impl Event {
@@ -241,6 +258,10 @@ impl Event {
             | Event::CheckpointSaved { .. }
             | Event::CampaignResumed { .. }
             | Event::GuidanceDegraded { .. } => Stage::Remote,
+            Event::WorkerQuarantined { .. }
+            | Event::CheckpointFsync { .. }
+            | Event::PhaseDeadlineExceeded { .. } => Stage::Supervisor,
+            Event::SolverStepHalved { .. } => Stage::Pdn,
         }
     }
 
@@ -354,6 +375,27 @@ impl Event {
                 r#"{{"ev":"guidance_degraded","stage":"{}","level":"{}"}}"#,
                 self.stage().name(),
                 level.name()
+            ),
+            Event::WorkerQuarantined { index } => write!(
+                s,
+                r#"{{"ev":"worker_quarantined","stage":"{}","index":{index}}}"#,
+                self.stage().name()
+            ),
+            Event::CheckpointFsync { generation, bytes } => write!(
+                s,
+                r#"{{"ev":"checkpoint_fsync","stage":"{}","generation":{generation},"bytes":{bytes}}}"#,
+                self.stage().name()
+            ),
+            Event::PhaseDeadlineExceeded { phase } => write!(
+                s,
+                r#"{{"ev":"phase_deadline_exceeded","stage":"{}","phase":"{}"}}"#,
+                self.stage().name(),
+                phase.name()
+            ),
+            Event::SolverStepHalved { halvings } => write!(
+                s,
+                r#"{{"ev":"solver_step_halved","stage":"{}","halvings":{halvings}}}"#,
+                self.stage().name()
             ),
         };
         s
@@ -658,6 +700,30 @@ mod tests {
                 "{\"ev\":\"checkpoint_saved\",\"stage\":\"remote\",\"phase\":\"profile\"}\n",
                 "{\"ev\":\"campaign_resumed\",\"stage\":\"remote\",\"phase\":\"upload\"}\n",
                 "{\"ev\":\"guidance_degraded\",\"stage\":\"remote\",\"level\":\"blind\"}\n",
+            )
+        );
+    }
+
+    #[test]
+    fn supervisor_events_render_stably() {
+        let log = TraceLog {
+            events: vec![
+                Event::WorkerQuarantined { index: 17 },
+                Event::CheckpointFsync { generation: 3, bytes: 4096 },
+                Event::PhaseDeadlineExceeded { phase: RemotePhase::Profile },
+                Event::SolverStepHalved { halvings: 2 },
+            ],
+            dropped: 0,
+        };
+        assert_eq!(log.events[0].stage(), Stage::Supervisor);
+        assert_eq!(log.events[3].stage(), Stage::Pdn);
+        assert_eq!(
+            log.to_jsonl(),
+            concat!(
+                "{\"ev\":\"worker_quarantined\",\"stage\":\"supervisor\",\"index\":17}\n",
+                "{\"ev\":\"checkpoint_fsync\",\"stage\":\"supervisor\",\"generation\":3,\"bytes\":4096}\n",
+                "{\"ev\":\"phase_deadline_exceeded\",\"stage\":\"supervisor\",\"phase\":\"profile\"}\n",
+                "{\"ev\":\"solver_step_halved\",\"stage\":\"pdn\",\"halvings\":2}\n",
             )
         );
     }

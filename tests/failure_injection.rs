@@ -321,6 +321,100 @@ fn aborted_mid_transfer_upload_leaves_the_armed_scheme_untouched() {
     );
 }
 
+/// One sweep point of plausible per-item work for the supervisor tests:
+/// a short PDN droop transient, deterministic in the cell count.
+fn droop_point(&cells: &usize) -> (f64, f64) {
+    let mut pdn = pdn::rlc::LumpedPdn::zynq_like();
+    pdn.settle(0.35);
+    let mut v_min = pdn.voltage();
+    for _ in 0..10 {
+        v_min = v_min.min(pdn.step(0.35 + cells as f64 * 1e-5, 1e-9));
+    }
+    (pdn.voltage(), v_min)
+}
+
+#[test]
+fn kill_mid_sweep_resumes_to_byte_identical_results() {
+    use bench::supervisor::{run_sliced, SweepRun};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let cells: Vec<usize> = (1..=12).map(|k| k * 1_000).collect();
+    let reference = match run_sliced(&cells, droop_point, None, 4, None) {
+        SweepRun::Complete(o) => o.into_complete(),
+        other => panic!("unexpected {other:?}"),
+    };
+
+    // "kill -9" after one durably-checkpointed slice …
+    let dir =
+        std::env::temp_dir().join(format!("deepstrike-failure-injection-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = ckpt::CheckpointStore::new(&dir, "droop").expect("store");
+    match run_sliced(&cells, droop_point, Some(&mut store), 4, Some(1)) {
+        SweepRun::Aborted { completed, generation } => {
+            assert_eq!(completed, 4, "one slice of four must be durable");
+            assert_eq!(generation, 1);
+        }
+        other => panic!("expected a simulated kill, got {other:?}"),
+    }
+    drop(store);
+
+    // … then the restarted process resumes: the checkpointed prefix is
+    // not recomputed and the merged output is bit-identical to the
+    // uninterrupted sweep.
+    let computed = AtomicUsize::new(0);
+    let mut store = ckpt::CheckpointStore::new(&dir, "droop").expect("store reopens");
+    let resumed = match run_sliced(
+        &cells,
+        |c| {
+            computed.fetch_add(1, Ordering::Relaxed);
+            droop_point(c)
+        },
+        Some(&mut store),
+        4,
+        None,
+    ) {
+        SweepRun::Complete(o) => o.into_complete(),
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(resumed, reference, "resumed sweep must reproduce the uninterrupted one");
+    assert_eq!(computed.load(Ordering::Relaxed), cells.len() - 4, "prefix must not be recomputed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poison_item_quarantine_is_identical_at_every_thread_count() {
+    // A deterministic poison point: item 9 of 24 always panics. The
+    // sweep must complete around it with the same typed quarantine
+    // report and the same surviving results at any worker count.
+    let run_once = || {
+        let outcome = par::try_map(24, |i| {
+            assert!(i != 9, "poison point");
+            droop_point(&(i * 500))
+        });
+        let quarantine: Vec<(usize, String)> =
+            outcome.quarantine.iter().map(|q| (q.index, q.message.clone())).collect();
+        (outcome.results, quarantine)
+    };
+
+    let prev = std::env::var("DEEPSTRIKE_THREADS").ok();
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    std::env::set_var("DEEPSTRIKE_THREADS", "1");
+    let reference = run_once();
+    assert_eq!(reference.1.len(), 1, "exactly the poison point is quarantined");
+    assert_eq!(reference.1[0].0, 9);
+    assert!(reference.0[9].is_none() && reference.0.iter().filter(|r| r.is_some()).count() == 23);
+    for threads in ["2", "8"] {
+        std::env::set_var("DEEPSTRIKE_THREADS", threads);
+        assert_eq!(run_once(), reference, "sweep outcome differs at {threads} workers");
+    }
+    std::panic::set_hook(hook);
+    match prev {
+        Some(v) => std::env::set_var("DEEPSTRIKE_THREADS", v),
+        None => std::env::remove_var("DEEPSTRIKE_THREADS"),
+    }
+}
+
 #[test]
 fn malformed_model_bytes_are_rejected() {
     let q = small_victim();
