@@ -229,6 +229,7 @@ impl FaultTally {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -333,6 +333,7 @@ pub fn predict_with_faults(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dnn::fixed::QFormat;

@@ -254,6 +254,7 @@ impl FaultModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -34,6 +34,8 @@
 //! assert!(tally.total_fault_rate() > 0.0);
 //! ```
 
+#![deny(clippy::unwrap_used)]
+
 pub mod dsp;
 pub mod executor;
 pub mod fault;

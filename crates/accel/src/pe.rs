@@ -87,6 +87,7 @@ impl PeArray {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

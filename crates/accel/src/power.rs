@@ -91,6 +91,7 @@ fn stage_seed(name: &str) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::schedule::AccelConfig;

@@ -206,6 +206,7 @@ impl Schedule {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dnn::fixed::QFormat;

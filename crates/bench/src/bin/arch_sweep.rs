@@ -7,8 +7,9 @@
 use accel::fault::FaultModel;
 use accel::schedule::AccelConfig;
 use bench::{emit_series, test_set, HARNESS_SEED};
-use deepstrike::attack::{evaluate_attack, plan_attack, profile_victim};
+use deepstrike::attack::{evaluate_attack, plan_attack, profile_from_traces};
 use deepstrike::cosim::{CloudFpga, CosimConfig};
+use deepstrike::snapshot::SnapshotEngine;
 use dnn::digits::{Dataset, RenderParams};
 use dnn::fixed::QFormat;
 use dnn::network::Sequential;
@@ -40,13 +41,16 @@ fn attack(q: &QuantizedNetwork, layers: &[&str], target: &str) -> (f64, f64) {
         CloudFpga::new(q, &AccelConfig::default(), STRIKER_CELLS, CosimConfig::default())
             .expect("platform assembles");
     fpga.settle(200);
-    let profile = profile_victim(&mut fpga, layers, 1).expect("profiling");
+    // The engine's reference pass doubles as the single profiling trace
+    // (bitwise identical to an unarmed run, DESIGN.md §11); the strike run
+    // then forks that same timeline instead of replaying from scratch.
+    let engine = SnapshotEngine::capture(&fpga).expect("reference pass captures");
+    let profile =
+        profile_from_traces(&[engine.reference().tdc_trace.clone()], layers).expect("profiling");
     let (_, len) = profile.window(target).expect("target profiled");
     let strikes = ((len / 2) as u32).clamp(1, 4_500);
     let scheme = plan_attack(&profile, target, strikes).expect("plan");
-    fpga.scheduler_mut().load_scheme(&scheme).expect("fits");
-    fpga.scheduler_mut().arm(true).expect("armed");
-    let run = fpga.run_inference();
+    let run = engine.run_guided(&scheme).expect("fits");
     let outcome = evaluate_attack(
         q,
         fpga.schedule(),

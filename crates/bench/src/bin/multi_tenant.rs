@@ -7,8 +7,9 @@
 use accel::fault::FaultModel;
 use accel::schedule::AccelConfig;
 use bench::{emit_series, test_set, trained_lenet, HARNESS_SEED};
-use deepstrike::attack::{evaluate_attack, plan_attack, profile_victim};
+use deepstrike::attack::{evaluate_attack, plan_attack, profile_from_traces};
 use deepstrike::cosim::{Bystander, CloudFpga, CosimConfig};
+use deepstrike::snapshot::SnapshotEngine;
 use dnn::lenet::STAGE_NAMES;
 
 const STRIKER_CELLS: usize = 8_000;
@@ -24,11 +25,15 @@ fn run_scenario(bystander: Option<Bystander>) -> (f64, f64, usize) {
         fpga.add_bystander(b);
     }
     fpga.settle(200);
-    let profile = profile_victim(&mut fpga, &STAGE_NAMES, 2).expect("profiling still succeeds");
+    // Two profiling traces: one naive run plus the engine's reference
+    // pass (bitwise identical to an unarmed run, DESIGN.md §11); the
+    // strike run forks the reference timeline.
+    let first_trace = fpga.run_inference().tdc_trace;
+    let engine = SnapshotEngine::capture(&fpga).expect("reference pass captures");
+    let traces = [first_trace, engine.reference().tdc_trace.clone()];
+    let profile = profile_from_traces(&traces, &STAGE_NAMES).expect("profiling still succeeds");
     let scheme = plan_attack(&profile, "conv1", 1_000).expect("plan compiles");
-    fpga.scheduler_mut().load_scheme(&scheme).expect("scheme fits");
-    fpga.scheduler_mut().arm(true).expect("armed");
-    let run = fpga.run_inference();
+    let run = engine.run_guided(&scheme).expect("scheme fits");
     let outcome = evaluate_attack(
         &q,
         fpga.schedule(),

@@ -1,19 +1,27 @@
 //! Performance sweep: measures the campaign hot paths serial vs parallel
 //! and writes the machine-readable `BENCH_sweep.json` at the repo root.
 //!
-//! Three measurements:
+//! Four measurements:
 //!
-//! 1. **fig5b slice** — a 64-point guided-attack campaign (the fig5b inner
-//!    loop at reduced image count), run with `DEEPSTRIKE_THREADS=1` and
-//!    again on the full worker pool. The two passes must produce
-//!    byte-identical outcomes (the `par` determinism contract); the
-//!    speedup column is the wall-clock ratio. On a multi-core box the
-//!    parallel pass is expected to be ≥ 3× faster at 4+ cores; on a
+//! 1. **fig5b snapshot sweep** — the fig5b candidate sweep across all five
+//!    layers, evaluated once by naive full replay and once through the
+//!    fork-point snapshot engine (`deepstrike::snapshot`). The two passes
+//!    must produce bit-identical `InferenceRun`s *and* outcomes — the
+//!    process aborts otherwise, which is the CI gate — and the speedup is
+//!    recorded as a dated entry in the `BENCH_sweep.json` trajectory.
+//! 2. **fig5b slice** — a guided-attack campaign slice run with
+//!    `DEEPSTRIKE_THREADS=1` and again on the full worker pool. The two
+//!    passes must produce byte-identical outcomes (the `par` determinism
+//!    contract); the speedup column is the wall-clock ratio. On a
 //!    single-core box both passes cost the same and `speedup ≈ 1`.
-//! 2. **conv forward** — the im2col fast path vs the original loop nest
+//! 3. **conv forward** — the im2col fast path vs the original loop nest
 //!    (`forward_naive`, kept as the exactness oracle).
-//! 3. **grid step** — the spatial PDN step in the settled state (where the
+//! 4. **grid step** — the spatial PDN step in the settled state (where the
 //!    early-exit fires after one sweep) vs mid-transient (all sweeps run).
+//!
+//! Grid sizes honour `DEEPSTRIKE_PERF_SNAP_POINTS`,
+//! `DEEPSTRIKE_PERF_SLICE_POINTS` and `DEEPSTRIKE_PERF_IMAGES` so CI can
+//! run a small grid.
 
 use std::time::Instant;
 
@@ -21,8 +29,12 @@ use accel::fault::FaultModel;
 use accel::schedule::AccelConfig;
 use bench::report::{SweepEntry, SweepReport};
 use bench::{test_set, trained_lenet, HARNESS_SEED};
-use deepstrike::attack::{evaluate_attack, plan_attack, profile_victim, AttackOutcome};
+use deepstrike::attack::{
+    clean_predictions, evaluate_attack, evaluate_attack_cached, plan_attack, profile_victim,
+    AttackOutcome,
+};
 use deepstrike::cosim::{CloudFpga, CosimConfig};
+use deepstrike::snapshot::SnapshotEngine;
 use dnn::layers::{Conv2d, Layer};
 use dnn::lenet::STAGE_NAMES;
 use dnn::tensor::Tensor;
@@ -30,12 +42,20 @@ use pdn::grid::SpatialPdn;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Campaign points in the fig5b slice.
+/// Campaign points in the snapshot-vs-replay sweep (one per layer ×
+/// strike-count rung, like fig5b's guided grid).
+const SNAP_POINTS: usize = 30;
+
+/// Campaign points in the fig5b thread-scaling slice.
 const SLICE_POINTS: usize = 64;
 
-/// Images scored per slice point (reduced from fig5b's 300 to keep the
+/// Images scored per campaign point (reduced from fig5b's 300 to keep the
 /// sweep fast while leaving enough work per point to parallelise).
 const SLICE_IMAGES: usize = 30;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
 
 fn seconds(f: impl FnOnce()) -> f64 {
     let start = Instant::now();
@@ -46,22 +66,34 @@ fn seconds(f: impl FnOnce()) -> f64 {
 /// The fig5b inner loop at slice scale: one campaign point per
 /// `(target, strike fraction)` pair, all starting from the same profiled
 /// platform snapshot.
+/// The guided campaign grid: one `(target, strikes)` point per layer ×
+/// strike-count rung, mirroring fig5b's guided sweep.
+fn campaign_points(
+    profile: &deepstrike::attack::VictimProfile,
+    targets: &[&str],
+    n: usize,
+) -> Vec<(usize, u32)> {
+    (0..n)
+        .map(|i| {
+            let target = i % targets.len();
+            let (_, len) = profile.window(targets[target]).expect("profiled layer");
+            let max_strikes = (len / 2).max(4) as u32;
+            let frac = (i / targets.len() + 1) as f64 / (n / targets.len()).max(1) as f64;
+            (target, ((f64::from(max_strikes) * frac.min(1.0)) as u32).max(1))
+        })
+        .collect()
+}
+
 fn fig5b_slice(
     fpga: &CloudFpga,
     profile: &deepstrike::attack::VictimProfile,
     q: &dnn::quant::QuantizedNetwork,
     test: &dnn::digits::Dataset,
+    slice_points: usize,
+    images: usize,
 ) -> Vec<AttackOutcome> {
     let targets = ["conv1", "conv2"];
-    let points: Vec<(usize, u32)> = (0..SLICE_POINTS)
-        .map(|i| {
-            let target = i % targets.len();
-            let (_, len) = profile.window(targets[target]).expect("profiled layer");
-            let max_strikes = (len / 2).max(4) as u32;
-            let frac = (i / targets.len() + 1) as f64 / (SLICE_POINTS / targets.len()) as f64;
-            (target, ((f64::from(max_strikes) * frac) as u32).max(1))
-        })
-        .collect();
+    let points = campaign_points(profile, &targets, slice_points);
     par::map_items(&points, |&(target, strikes)| {
         let mut fpga = fpga.clone();
         let scheme =
@@ -73,7 +105,7 @@ fn fig5b_slice(
             q,
             fpga.schedule(),
             &run,
-            test.iter().take(SLICE_IMAGES),
+            test.iter().take(images),
             FaultModel::paper(),
             HARNESS_SEED,
         )
@@ -82,8 +114,10 @@ fn fig5b_slice(
 
 fn main() {
     let mut report = SweepReport::new();
+    let snap_points = env_usize("DEEPSTRIKE_PERF_SNAP_POINTS", SNAP_POINTS);
+    let slice_points = env_usize("DEEPSTRIKE_PERF_SLICE_POINTS", SLICE_POINTS);
+    let images = env_usize("DEEPSTRIKE_PERF_IMAGES", SLICE_IMAGES);
 
-    // --- fig5b slice: serial vs worker pool ------------------------------
     let (q, _) = trained_lenet();
     let test = test_set();
     let mut fpga = CloudFpga::new(&q, &AccelConfig::default(), 8_000, CosimConfig::default())
@@ -91,26 +125,109 @@ fn main() {
     fpga.settle(200);
     let profile = profile_victim(&mut fpga, &STAGE_NAMES, 1).expect("profiling");
 
+    // --- fig5b candidate sweep: snapshot engine vs naive replay ----------
+    // Same platform, same candidate grid, two evaluation modes. The runs
+    // and outcomes must match bit-for-bit; the wall-clock ratio is the
+    // engine's algorithmic speedup (thread-count independent).
+    let points = campaign_points(&profile, &STAGE_NAMES, snap_points);
+    let schemes: Vec<_> = points
+        .iter()
+        .map(|&(target, strikes)| {
+            plan_attack(&profile, STAGE_NAMES[target], strikes).expect("points fit their windows")
+        })
+        .collect();
+
+    let mut replay_results = Vec::with_capacity(schemes.len());
+    let replay_s = seconds(|| {
+        for scheme in &schemes {
+            let mut fpga = fpga.clone();
+            fpga.scheduler_mut().load_scheme(scheme).expect("scheme fits");
+            fpga.scheduler_mut().arm(true).expect("scheme loaded");
+            let run = fpga.run_inference();
+            let outcome = evaluate_attack(
+                &q,
+                fpga.schedule(),
+                &run,
+                test.iter().take(images),
+                FaultModel::paper(),
+                HARNESS_SEED,
+            );
+            replay_results.push((run, outcome));
+        }
+    });
+
+    let start = Instant::now();
+    let engine = SnapshotEngine::capture(&fpga).expect("snapshot capture");
+    let clean = clean_predictions(&q, test.iter().take(images));
+    let snapshot_results: Vec<_> = schemes
+        .iter()
+        .map(|scheme| {
+            let run = engine.run_guided(scheme).expect("guided run");
+            let outcome = evaluate_attack_cached(
+                &q,
+                fpga.schedule(),
+                &run,
+                test.iter().take(images),
+                FaultModel::paper(),
+                HARNESS_SEED,
+                &clean,
+            );
+            (run, outcome)
+        })
+        .collect();
+    let snapshot_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        replay_results, snapshot_results,
+        "snapshot-mode output must be bit-identical to naive replay"
+    );
+    let stats = engine.stats();
+    let snap_speedup = replay_s / snapshot_s;
+    let suffix_fraction = if stats.forked_runs > 0 {
+        stats.suffix_cycles as f64 / (stats.forked_runs * engine.total_cycles()) as f64
+    } else {
+        f64::NAN
+    };
+    println!(
+        "fig5b_snapshot/{snap_points}pt: replay {replay_s:.2}s, snapshot {snapshot_s:.2}s \
+         ({snap_speedup:.2}x), bit-identical; {} of {} forked runs rejoined, \
+         mean suffix fraction {suffix_fraction:.3}",
+        stats.rejoined, stats.forked_runs
+    );
+    let snapshot_entry = SweepEntry::new(format!("fig5b_snapshot/{snap_points}pt"))
+        .metric("points", snap_points as f64)
+        .metric("images_per_point", images as f64)
+        .metric("replay_s", replay_s)
+        .metric("snapshot_s", snapshot_s)
+        .metric("speedup", snap_speedup)
+        .metric("forked_runs", stats.forked_runs as f64)
+        .metric("rejoined", stats.rejoined as f64)
+        .metric("suffix_fraction", suffix_fraction);
+    report.push_history(&snapshot_entry);
+    report.push(snapshot_entry);
+
+    // --- fig5b slice: serial vs worker pool ------------------------------
     std::env::set_var(par::THREADS_ENV, "1");
     let mut serial_out = Vec::new();
-    let serial_s = seconds(|| serial_out = fig5b_slice(&fpga, &profile, &q, &test));
+    let serial_s =
+        seconds(|| serial_out = fig5b_slice(&fpga, &profile, &q, &test, slice_points, images));
     std::env::remove_var(par::THREADS_ENV);
     let threads = par::thread_count();
     let mut parallel_out = Vec::new();
-    let parallel_s = seconds(|| parallel_out = fig5b_slice(&fpga, &profile, &q, &test));
+    let parallel_s =
+        seconds(|| parallel_out = fig5b_slice(&fpga, &profile, &q, &test, slice_points, images));
     assert_eq!(
         serial_out, parallel_out,
         "1-thread and {threads}-thread campaigns must be bit-identical"
     );
     let speedup = serial_s / parallel_s;
     println!(
-        "fig5b_slice/{SLICE_POINTS}pt: serial {serial_s:.2}s, {threads}-thread {parallel_s:.2}s \
+        "fig5b_slice/{slice_points}pt: serial {serial_s:.2}s, {threads}-thread {parallel_s:.2}s \
          ({speedup:.2}x), outcomes identical"
     );
     report.push(
-        SweepEntry::new(format!("fig5b_slice/{SLICE_POINTS}pt"))
-            .metric("points", SLICE_POINTS as f64)
-            .metric("images_per_point", SLICE_IMAGES as f64)
+        SweepEntry::new(format!("fig5b_slice/{slice_points}pt"))
+            .metric("points", slice_points as f64)
+            .metric("images_per_point", images as f64)
             .metric("serial_s", serial_s)
             .metric("parallel_s", parallel_s)
             .metric("parallel_threads", threads as f64)
@@ -190,6 +307,7 @@ fn main() {
         p.push("BENCH_sweep.json");
         p
     };
+    report.load_history(&path);
     report.write_to(&path).expect("report is writable");
     println!("wrote {}", path.display());
 }

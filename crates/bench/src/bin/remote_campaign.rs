@@ -17,10 +17,13 @@ use accel::fault::FaultModel;
 use bench::golden::{accel_config, cosim_config, golden_images, tiny_dense_victim, GOLDEN_SEED};
 use bench::supervisor::SliceCodec;
 use ckpt::wire;
-use deepstrike::attack::{evaluate_attack, plan_attack, profile_victim};
+use std::sync::Arc;
+
+use deepstrike::attack::{evaluate_attack, plan_attack, profile_from_traces};
 use deepstrike::cosim::CloudFpga;
 use deepstrike::remote::{RemoteCampaign, RemoteConfig, SimHost};
 use deepstrike::signal_ram::AttackScheme;
+use deepstrike::snapshot::RunMemo;
 use deepstrike::DeepStrikeError;
 use uart::link::{Endpoint, FaultConfig};
 use uart::transport::{TransportClient, TransportConfig, TransportShell};
@@ -90,14 +93,22 @@ fn main() {
     let q = tiny_dense_victim();
     let config = campaign_config();
 
+    // Every sweep point rebuilds an identical platform and replays the
+    // same campaign, so the underlying simulations are shared through one
+    // run memo: the local reference below primes it, and each point's
+    // host serves its profile and strike inferences from the cache
+    // (bit-identical to running them, see `snapshot::RunMemo`).
+    let memo = Arc::new(RunMemo::new());
+
     // Local reference: the direct driver on an identical platform.
     let mut local = platform();
-    let profile =
-        profile_victim(&mut local, &["fc1", "fc2"], config.profile_runs).expect("local profile");
+    let traces: Vec<Vec<u8>> =
+        (0..config.profile_runs.max(1)).map(|_| memo.run_inference(&mut local).tdc_trace).collect();
+    let profile = profile_from_traces(&traces, &["fc1", "fc2"]).expect("local profile");
     let local_scheme: AttackScheme = plan_attack(&profile, "fc1", 6).expect("local plan");
     local.scheduler_mut().load_scheme(&local_scheme).expect("loads");
     local.scheduler_mut().arm(true).expect("arms");
-    let run = local.run_inference();
+    let run = memo.run_inference(&mut local);
     let local_outcome = evaluate_attack(
         &q,
         local.schedule(),
@@ -149,7 +160,8 @@ fn main() {
                 q.clone(),
                 golden_images(6),
                 FaultModel::paper(),
-            );
+            )
+            .with_run_memo(Arc::clone(&memo));
             let mut campaign = RemoteCampaign::new(campaign_config());
             let mut resumes = 0u32;
             let outcome = loop {

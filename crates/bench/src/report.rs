@@ -6,18 +6,25 @@
 //!
 //! ```json
 //! {
-//!   "schema": "deepstrike-bench-sweep/1",
+//!   "schema": "deepstrike-bench-sweep/2",
 //!   "threads": 4,
+//!   "date": "2026-08-07",
 //!   "entries": [
 //!     { "name": "fig5b_slice/64pt", "serial_s": 41.2, "parallel_s": 11.8,
 //!       "speedup": 3.49 }
+//!   ],
+//!   "history": [
+//!     { "date": "2026-08-07", "name": "fig5b_snapshot/30pt", "speedup": 3.4 }
 //!   ]
 //! }
 //! ```
 //!
-//! Every metric is a finite `f64` (non-finite values are serialised as
-//! `null`, which keeps the document valid JSON); names are free-form
-//! strings and are escaped.
+//! `entries` is the current run; `history` is an append-only trajectory,
+//! one line per dated benchmark run, carried over from the previous file
+//! on rewrite so the repo accumulates a performance record. Every metric
+//! is a finite `f64` (non-finite values are serialised as `null`, which
+//! keeps the document valid JSON); names are free-form strings and are
+//! escaped.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -43,47 +50,111 @@ impl SweepEntry {
         self.metrics.push((key, value));
         self
     }
+
+    /// Renders the entry as a one-line JSON object, optionally prefixed
+    /// with a `"date"` field — the `history` line format.
+    fn to_json_line(&self, date: Option<&str>) -> String {
+        let mut out = String::from("{ ");
+        if let Some(date) = date {
+            out.push_str("\"date\": ");
+            write_json_string(&mut out, date);
+            out.push_str(", ");
+        }
+        out.push_str("\"name\": ");
+        write_json_string(&mut out, &self.name);
+        for &(key, value) in &self.metrics {
+            out.push_str(", ");
+            write_json_string(&mut out, key);
+            out.push_str(": ");
+            write_json_number(&mut out, value);
+        }
+        out.push_str(" }");
+        out
+    }
 }
 
 /// The whole sweep report.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SweepReport {
     entries: Vec<SweepEntry>,
+    /// Past trajectory lines (verbatim one-line JSON objects), oldest first.
+    history: Vec<String>,
+    date: String,
 }
 
 impl SweepReport {
-    /// An empty report.
+    /// An empty report stamped with [`bench_date`].
     pub fn new() -> Self {
-        SweepReport::default()
+        SweepReport { entries: Vec::new(), history: Vec::new(), date: bench_date() }
     }
 
-    /// Appends an entry.
+    /// Appends an entry to the current run.
     pub fn push(&mut self, entry: SweepEntry) {
         self.entries.push(entry);
+    }
+
+    /// Appends a dated entry to the append-only trajectory.
+    pub fn push_history(&mut self, entry: &SweepEntry) {
+        let date = self.date.clone();
+        self.history.push(entry.to_json_line(Some(&date)));
+    }
+
+    /// Carries the `history` lines of a previously written report over
+    /// into this one, so rewriting the file preserves the trajectory.
+    /// Tolerant line-based extraction (no JSON parser in the workspace):
+    /// a missing file, the v1 schema, or an unrecognised layout simply
+    /// yield no history.
+    pub fn load_history(&mut self, path: impl AsRef<Path>) {
+        let Ok(previous) = fs::read_to_string(path) else { return };
+        let mut carried = Vec::new();
+        let mut in_history = false;
+        for line in previous.lines() {
+            let trimmed = line.trim().trim_end_matches(',');
+            if trimmed.starts_with("\"history\"") {
+                in_history = true;
+                continue;
+            }
+            if in_history {
+                if trimmed.starts_with('{') && trimmed.ends_with('}') {
+                    carried.push(trimmed.to_string());
+                } else if trimmed.starts_with(']') {
+                    break;
+                }
+            }
+        }
+        // Carried lines are older: they sort before anything already
+        // pushed for the current run, regardless of call order.
+        carried.append(&mut self.history);
+        self.history = carried;
     }
 
     /// Renders the document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"deepstrike-bench-sweep/1\",\n");
+        out.push_str("  \"schema\": \"deepstrike-bench-sweep/2\",\n");
         let _ = writeln!(out, "  \"threads\": {},", par::thread_count());
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let _ = writeln!(out, "  \"cores\": {cores},");
+        out.push_str("  \"date\": ");
+        write_json_string(&mut out, &self.date);
+        out.push_str(",\n");
         out.push_str("  \"entries\": [");
         for (i, entry) in self.entries.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str("\n    { \"name\": ");
-            write_json_string(&mut out, &entry.name);
-            for &(key, value) in &entry.metrics {
-                out.push_str(", ");
-                write_json_string(&mut out, key);
-                out.push_str(": ");
-                write_json_number(&mut out, value);
+            out.push_str("\n    ");
+            out.push_str(&entry.to_json_line(None));
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"history\": [");
+        for (i, line) in self.history.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
             }
-            out.push_str(" }");
+            out.push_str("\n    ");
+            out.push_str(line);
         }
         out.push_str("\n  ]\n}\n");
         out
@@ -97,6 +168,35 @@ impl SweepReport {
     pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
         fs::write(path, self.to_json())
     }
+}
+
+/// Today's date as `YYYY-MM-DD`, from `DEEPSTRIKE_BENCH_DATE` when set
+/// (reproducible CI entries), otherwise from the system clock.
+pub fn bench_date() -> String {
+    if let Ok(date) = std::env::var("DEEPSTRIKE_BENCH_DATE") {
+        if !date.is_empty() {
+            return date;
+        }
+    }
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-epoch to (year, month, day), Howard Hinnant's algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
 }
 
 fn write_json_string(out: &mut String, s: &str) {
@@ -135,7 +235,7 @@ mod tests {
             SweepEntry::new("fig5b_slice/64pt").metric("serial_s", 41.25).metric("speedup", 3.5),
         );
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"deepstrike-bench-sweep/1\""));
+        assert!(json.contains("\"schema\": \"deepstrike-bench-sweep/2\""));
         assert!(json.contains("\"name\": \"fig5b_slice/64pt\""));
         assert!(json.contains("\"serial_s\": 41.25"));
         assert!(json.contains("\"speedup\": 3.5"));
@@ -154,5 +254,45 @@ mod tests {
     fn empty_report_is_valid() {
         let json = SweepReport::new().to_json();
         assert!(json.contains("\"entries\": [\n  ]"));
+        assert!(json.contains("\"history\": [\n  ]"));
+    }
+
+    #[test]
+    fn history_survives_a_rewrite() {
+        let dir = std::env::temp_dir().join(format!("deepstrike-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+
+        std::env::set_var("DEEPSTRIKE_BENCH_DATE", "2026-01-01");
+        let mut first = SweepReport::new();
+        let entry = SweepEntry::new("fig5b_snapshot/8pt").metric("speedup", 3.4);
+        first.push(entry.clone());
+        first.push_history(&entry);
+        first.write_to(&path).unwrap();
+
+        std::env::set_var("DEEPSTRIKE_BENCH_DATE", "2026-02-02");
+        let mut second = SweepReport::new();
+        second.load_history(&path);
+        let entry2 = SweepEntry::new("fig5b_snapshot/8pt").metric("speedup", 3.6);
+        second.push(entry2.clone());
+        second.push_history(&entry2);
+        second.write_to(&path).unwrap();
+        std::env::remove_var("DEEPSTRIKE_BENCH_DATE");
+
+        let written = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(written.contains("\"date\": \"2026-02-02\""));
+        assert!(
+            written.contains("\"date\": \"2026-01-01\", \"name\": \"fig5b_snapshot/8pt\""),
+            "first run's trajectory line must survive the rewrite: {written}"
+        );
+        assert_eq!(written.matches("\"speedup\": 3.6").count(), 2, "entry + history");
+    }
+
+    #[test]
+    fn civil_date_conversion_is_correct() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        assert_eq!(civil_from_days(20_672), (2026, 8, 7));
     }
 }

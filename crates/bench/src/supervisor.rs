@@ -141,6 +141,10 @@ fn load_prefix<T: SliceCodec>(store: &CheckpointStore, total: usize) -> Vec<T> {
 /// Only the prefix of *consecutively completed* items is persisted: a
 /// quarantined item ends the prefix, so it is retried on resume and its
 /// report stays deterministic.
+///
+/// A quarantine-free completion clears the checkpoint store, so the next
+/// invocation recomputes from scratch rather than replaying the stale
+/// final prefix.
 pub fn run_sliced<I, T, F>(
     items: &[I],
     f: F,
@@ -185,6 +189,17 @@ where
             }
         }
     }
+    // A cleanly finished sweep retires its checkpoint — leaving the final
+    // prefix on disk would make the next invocation replay stale results
+    // instead of recomputing. A quarantined slot keeps the store so a
+    // rerun retries the poison point from the persisted prefix.
+    if quarantine.is_empty() {
+        if let Some(s) = store {
+            if let Err(e) = s.clear() {
+                eprintln!("supervisor: failed to clear finished checkpoint: {e}");
+            }
+        }
+    }
     SweepRun::Complete(SweepOutcome { results, quarantine })
 }
 
@@ -197,9 +212,9 @@ fn env_usize(name: &str) -> Option<usize> {
 /// runs the supervised sweep, reports quarantined points on stderr and
 /// returns the per-item results (`None` at quarantined indices).
 ///
-/// On a simulated abort the process exits with [`ABORT_EXIT_CODE`]; on
-/// completion the checkpoint files are cleared so the next invocation
-/// starts fresh.
+/// On a simulated abort the process exits with [`ABORT_EXIT_CODE`]; a
+/// quarantine-free completion clears the checkpoint files (in
+/// [`run_sliced`]) so the next invocation starts fresh.
 pub fn supervised_sweep<I, T, F>(name: &str, items: &[I], f: F) -> Vec<Option<T>>
 where
     I: Sync,
@@ -224,11 +239,6 @@ where
         SweepRun::Complete(outcome) => {
             for q in &outcome.quarantine {
                 eprintln!("supervisor: quarantined item {}: {}", q.index, q.message);
-            }
-            if let Some(s) = store.as_mut() {
-                if let Err(e) = s.clear() {
-                    eprintln!("supervisor: failed to clear checkpoint: {e}");
-                }
             }
             outcome.results
         }
@@ -373,6 +383,45 @@ mod tests {
             items.len() - completed,
             "completed prefix must not be recomputed"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completed_sweep_clears_checkpoint_and_rerun_recomputes() {
+        let items = grid();
+        let dir = temp_dir("rerun");
+        let mut store = CheckpointStore::new(&dir, "sweep").expect("store");
+        let first = match run_sliced(&items, point, Some(&mut store), 4, None) {
+            SweepRun::Complete(o) => o.into_complete(),
+            other => panic!("unexpected {other:?}"),
+        };
+        // The finished sweep must retire its checkpoint (the lifecycle
+        // bug this guards against: the final prefix stayed on disk) …
+        assert!(
+            store.load().expect("store readable").is_none(),
+            "completed sweep must clear its checkpoint"
+        );
+
+        // … so a rerun recomputes every point instead of replaying a
+        // stale full prefix.
+        let computed = AtomicUsize::new(0);
+        let mut store = CheckpointStore::new(&dir, "sweep").expect("store reopens");
+        let rerun = run_sliced(
+            &items,
+            |i| {
+                computed.fetch_add(1, Ordering::Relaxed);
+                point(i)
+            },
+            Some(&mut store),
+            4,
+            None,
+        );
+        let rerun = match rerun {
+            SweepRun::Complete(o) => o.into_complete(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(rerun, first);
+        assert_eq!(computed.load(Ordering::Relaxed), items.len(), "rerun must recompute all");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -362,7 +362,51 @@ pub fn evaluate_attack<'a>(
     fault_model: FaultModel,
     seed: u64,
 ) -> AttackOutcome {
+    evaluate_attack_impl(net, schedule, run, &samples.collect::<Vec<_>>(), fault_model, seed, None)
+}
+
+/// Precomputes the per-image clean verdicts `evaluate_attack` derives
+/// internally (`net.predict(x) == y`). The clean pass is candidate-
+/// independent, so a campaign sweeping hundreds of schemes over one test
+/// set computes it once and passes it to
+/// [`evaluate_attack_cached`], which then scores bit-identically to
+/// [`evaluate_attack`] while skipping the redundant clean inference per
+/// image per candidate.
+pub fn clean_predictions<'a>(
+    net: &QuantizedNetwork,
+    samples: impl Iterator<Item = (&'a Tensor, usize)>,
+) -> Vec<bool> {
     let samples: Vec<(&Tensor, usize)> = samples.collect();
+    par::map_items(&samples, |&(x, y)| net.predict(x) == y)
+}
+
+/// [`evaluate_attack`] with the clean verdicts precomputed by
+/// [`clean_predictions`] over the *same* samples in the same order.
+/// Bit-identical to the uncached path: the verdicts are deterministic
+/// booleans, so substituting them changes no sampled value.
+pub fn evaluate_attack_cached<'a>(
+    net: &QuantizedNetwork,
+    schedule: &Schedule,
+    run: &InferenceRun,
+    samples: impl Iterator<Item = (&'a Tensor, usize)>,
+    fault_model: FaultModel,
+    seed: u64,
+    clean: &[bool],
+) -> AttackOutcome {
+    let samples: Vec<(&Tensor, usize)> = samples.collect();
+    assert_eq!(samples.len(), clean.len(), "clean verdicts must cover the sample set");
+    evaluate_attack_impl(net, schedule, run, &samples, fault_model, seed, Some(clean))
+}
+
+fn evaluate_attack_impl(
+    net: &QuantizedNetwork,
+    schedule: &Schedule,
+    run: &InferenceRun,
+    samples: &[(&Tensor, usize)],
+    fault_model: FaultModel,
+    seed: u64,
+    clean: Option<&[bool]>,
+) -> AttackOutcome {
     struct ImageScore {
         clean_ok: bool,
         attacked_ok: bool,
@@ -382,7 +426,10 @@ pub fn evaluate_attack<'a>(
             .max_by_key(|(k, &v)| (v, std::cmp::Reverse(*k)))
             .map(|(k, _)| k)
             .expect("non-empty logits");
-        let clean_ok = net.predict(x) == y;
+        let clean_ok = match clean {
+            Some(c) => c[i],
+            None => net.predict(x) == y,
+        };
         let attacked_ok = predicted == y;
         trace::emit(|| trace::Event::ImageScored {
             index: i as u64,
@@ -410,6 +457,7 @@ pub fn evaluate_attack<'a>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cosim::CosimConfig;

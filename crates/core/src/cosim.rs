@@ -114,18 +114,18 @@ impl InferenceRun {
 /// without sharing mutable state.
 #[derive(Clone)]
 pub struct CloudFpga {
-    config: CosimConfig,
-    schedule: Schedule,
-    activity: ActivityModel,
-    pdn: SpatialPdn,
-    victim_node: NodeId,
-    attacker_node: NodeId,
-    tdc: TdcSensor,
-    striker: StrikerBank,
-    scheduler: AttackScheduler,
-    thermal: ThermalModel,
-    bystanders: Vec<Bystander>,
-    trace_buf: VecDeque<u8>,
+    pub(crate) config: CosimConfig,
+    pub(crate) schedule: Schedule,
+    pub(crate) activity: ActivityModel,
+    pub(crate) pdn: SpatialPdn,
+    pub(crate) victim_node: NodeId,
+    pub(crate) attacker_node: NodeId,
+    pub(crate) tdc: TdcSensor,
+    pub(crate) striker: StrikerBank,
+    pub(crate) scheduler: AttackScheduler,
+    pub(crate) thermal: ThermalModel,
+    pub(crate) bystanders: Vec<Bystander>,
+    pub(crate) trace_buf: VecDeque<u8>,
 }
 
 impl std::fmt::Debug for CloudFpga {
@@ -220,7 +220,7 @@ impl CloudFpga {
         }
     }
 
-    fn substep_dt(&self) -> f64 {
+    pub(crate) fn substep_dt(&self) -> f64 {
         let period_s = 1.0e-6 / self.config.victim_clock_mhz;
         period_s / self.config.pdn_substeps as f64
     }
@@ -229,92 +229,167 @@ impl CloudFpga {
     pub fn run_inference(&mut self) -> InferenceRun {
         self.scheduler.rearm();
         let total = self.schedule.total_cycles();
+        let mut rec = RunRecorder::new(total, false);
+        for cycle in 0..total {
+            self.step_cycle(cycle, &mut rec);
+        }
+        self.finish_run(rec)
+    }
+
+    /// Advances the platform by exactly one victim cycle.
+    ///
+    /// This is the loop body of [`run_inference`](Self::run_inference),
+    /// factored out so the snapshot engine (`crate::snapshot`) can resume
+    /// the identical cycle sequence from a mid-run fork. The operation
+    /// order here is load-bearing: any reordering changes float rounding
+    /// and breaks the bit-identity contract between forked suffix runs
+    /// and naive full replays.
+    pub(crate) fn step_cycle(&mut self, cycle: u64, rec: &mut RunRecorder) {
         let dt = self.substep_dt();
         let substeps = self.config.pdn_substeps;
         // TDC samples twice per 10 ns victim cycle (200 MHz).
         let tdc_every = (substeps / 2).max(1);
 
-        let mut tdc_trace = Vec::with_capacity((total as usize) * 2);
-        let mut victim_voltage = Vec::with_capacity(total as usize);
-        let mut strike_cycles = Vec::new();
-        let mut triggered_cycle = None;
-        let mut last_raw: Option<u128> = None;
-
-        for cycle in 0..total {
-            // Victim current for this cycle.
-            let i_victim = self.activity.current_at(&self.schedule, cycle);
-            // Scheduler decides the striker level using the latest sample.
-            let was_triggered = self.scheduler.detector().is_triggered();
-            let enable = self.scheduler.clock(last_raw.take());
-            if !was_triggered && self.scheduler.detector().is_triggered() {
-                triggered_cycle = Some(cycle);
-            }
-            if enable {
-                if !self.striker.is_enabled() {
-                    trace::emit(|| trace::Event::StrikeIssued { cycle });
-                }
-                strike_cycles.push(cycle);
-            }
-            // Inject all loads at their mesh nodes.
-            self.pdn.inject(self.victim_node, i_victim).expect("victim node is on the mesh");
-            let v_att_now =
-                self.pdn.voltage_at(self.attacker_node).expect("attacker node is on the mesh");
-            self.striker.set_enabled(enable);
-            let i_striker = self.striker.current_a(v_att_now);
-            self.pdn.inject(self.attacker_node, i_striker).expect("attacker node is on the mesh");
-            for (k, b) in self.bystanders.iter().enumerate() {
-                let on = (cycle / (b.period_cycles / 2).max(1)) % 2 == 0;
-                let node = self.pdn.node_at_fraction(b.pos.0, b.pos.1);
-                let _ = k;
-                self.pdn
-                    .inject(node, if on { b.amps } else { 0.0 })
-                    .expect("bystander node is on the mesh");
-            }
-
-            // Advance the mesh; sample TDC mid-cycle and at cycle end.
-            let mut v_victim_min = f64::INFINITY;
-            for s in 0..substeps {
-                self.pdn.step(dt);
-                let vv = self.pdn.voltage_at(self.victim_node).expect("victim node is on the mesh");
-                v_victim_min = v_victim_min.min(vv);
-                if (s + 1) % tdc_every == 0 {
-                    let va = self
-                        .pdn
-                        .voltage_at(self.attacker_node)
-                        .expect("attacker node is on the mesh");
-                    let reading = self.tdc.sample(va);
-                    tdc_trace.push(reading.count);
-                    if self.trace_buf.len() == self.config.trace_capacity {
-                        self.trace_buf.pop_front();
-                    }
-                    self.trace_buf.push_back(reading.count);
-                    last_raw = Some(reading.raw);
-                }
-            }
-            victim_voltage.push(v_victim_min);
-
-            // Thermal integration (victim + striker dissipation).
-            let v_now = self.pdn.voltage_at(self.victim_node).expect("victim node is on the mesh");
-            let power = i_victim * v_now + self.striker.power_w(v_now);
-            self.thermal.step(power, dt * substeps as f64);
+        // Victim current for this cycle.
+        let i_victim = self.activity.current_at(&self.schedule, cycle);
+        // Scheduler decides the striker level using the latest sample.
+        let was_triggered = self.scheduler.detector().is_triggered();
+        let enable = self.scheduler.clock(rec.last_raw.take());
+        if !was_triggered && self.scheduler.detector().is_triggered() {
+            rec.triggered_cycle = Some(cycle);
         }
+        if enable {
+            if !self.striker.is_enabled() {
+                trace::emit(|| trace::Event::StrikeIssued { cycle });
+            }
+            rec.strike_cycles.push(cycle);
+        }
+        // Inject all loads at their mesh nodes.
+        self.pdn.inject(self.victim_node, i_victim).expect("victim node is on the mesh");
+        let v_att_now =
+            self.pdn.voltage_at(self.attacker_node).expect("attacker node is on the mesh");
+        self.striker.set_enabled(enable);
+        let i_striker = self.striker.current_a(v_att_now);
+        self.pdn.inject(self.attacker_node, i_striker).expect("attacker node is on the mesh");
+        for (k, b) in self.bystanders.iter().enumerate() {
+            let on = (cycle / (b.period_cycles / 2).max(1)).is_multiple_of(2);
+            let node = self.pdn.node_at_fraction(b.pos.0, b.pos.1);
+            let _ = k;
+            self.pdn
+                .inject(node, if on { b.amps } else { 0.0 })
+                .expect("bystander node is on the mesh");
+        }
+
+        // Advance the mesh; sample TDC mid-cycle and at cycle end.
+        let mut v_victim_min = f64::INFINITY;
+        for s in 0..substeps {
+            self.pdn.step(dt);
+            let vv = self.pdn.voltage_at(self.victim_node).expect("victim node is on the mesh");
+            v_victim_min = v_victim_min.min(vv);
+            if (s + 1) % tdc_every == 0 {
+                let va =
+                    self.pdn.voltage_at(self.attacker_node).expect("attacker node is on the mesh");
+                let reading = self.tdc.sample(va);
+                rec.tdc_trace.push(reading.count);
+                if self.trace_buf.len() == self.config.trace_capacity {
+                    self.trace_buf.pop_front();
+                }
+                self.trace_buf.push_back(reading.count);
+                rec.last_raw = Some(reading.raw);
+            }
+        }
+        rec.victim_voltage.push(v_victim_min);
+
+        // Thermal integration (victim + striker dissipation).
+        let v_now = self.pdn.voltage_at(self.victim_node).expect("victim node is on the mesh");
+        let power = i_victim * v_now + self.striker.power_w(v_now);
+        self.thermal.step(power, dt * substeps as f64);
+        if let Some(powers) = rec.powers.as_mut() {
+            powers.push(power);
+        }
+    }
+
+    /// Runs the post-loop conformance pass and packages the recording.
+    pub(crate) fn finish_run(&mut self, rec: RunRecorder) -> InferenceRun {
+        let dt = self.substep_dt();
+        let substeps = self.config.pdn_substeps;
         // Post-run PDN conformance pass: when recording, summarise every
         // victim-rail excursion below the DSP fault threshold (the
         // emission lives in `pdn::analysis::glitch_windows`).
         if trace::is_collecting() {
             if let Ok(t) =
-                pdn::trace::Trace::from_samples(dt * substeps as f64, victim_voltage.clone())
+                pdn::trace::Trace::from_samples(dt * substeps as f64, rec.victim_voltage.clone())
             {
                 let safe = accel::fault::FaultModel::paper().safe_voltage();
                 let _ = pdn::analysis::glitch_windows(&t, safe);
             }
         }
         InferenceRun {
-            tdc_trace,
-            victim_voltage,
-            strike_cycles,
-            triggered_cycle,
+            tdc_trace: rec.tdc_trace,
+            victim_voltage: rec.victim_voltage,
+            strike_cycles: rec.strike_cycles,
+            triggered_cycle: rec.triggered_cycle,
             final_temp_c: self.thermal.junction_temp(),
+        }
+    }
+
+    /// Behavioural state equality: every field that influences future
+    /// dynamics, i.e. everything except the UART readout ring buffer
+    /// (`trace_buf` only feeds `ReadTrace` drains, never the physics).
+    pub fn state_eq(&self, other: &CloudFpga) -> bool {
+        self.config == other.config
+            && self.schedule == other.schedule
+            && self.activity == other.activity
+            && self.pdn == other.pdn
+            && self.victim_node == other.victim_node
+            && self.attacker_node == other.attacker_node
+            && self.tdc == other.tdc
+            && self.striker == other.striker
+            && self.scheduler == other.scheduler
+            && self.thermal == other.thermal
+            && self.bystanders == other.bystanders
+    }
+}
+
+/// Per-run recording state for the cycle loop, factored out of
+/// [`CloudFpga::run_inference`] so a forked suffix run can seed it from a
+/// snapshot (`last_raw` and `triggered_cycle` are carried machine state;
+/// the vectors are the recording so far).
+#[derive(Debug, Clone)]
+pub(crate) struct RunRecorder {
+    pub(crate) tdc_trace: Vec<u8>,
+    pub(crate) victim_voltage: Vec<f64>,
+    pub(crate) strike_cycles: Vec<u64>,
+    pub(crate) triggered_cycle: Option<u64>,
+    /// Raw TDC word sampled last; consumed by the scheduler next cycle.
+    pub(crate) last_raw: Option<u128>,
+    /// When `Some`, per-cycle thermal power is recorded (reference pass).
+    pub(crate) powers: Option<Vec<f64>>,
+}
+
+impl RunRecorder {
+    pub(crate) fn new(total: u64, record_powers: bool) -> Self {
+        RunRecorder {
+            tdc_trace: Vec::with_capacity((total as usize) * 2),
+            victim_voltage: Vec::with_capacity(total as usize),
+            strike_cycles: Vec::new(),
+            triggered_cycle: None,
+            last_raw: None,
+            powers: record_powers.then(Vec::new),
+        }
+    }
+
+    /// A recorder resuming mid-run from a fork point: the vectors start
+    /// empty (the engine splices the shared prefix back in afterwards)
+    /// while the carried machine state is restored from the snapshot.
+    pub(crate) fn resume(triggered_cycle: Option<u64>, last_raw: Option<u128>) -> Self {
+        RunRecorder {
+            tdc_trace: Vec::new(),
+            victim_voltage: Vec::new(),
+            strike_cycles: Vec::new(),
+            triggered_cycle,
+            last_raw,
+            powers: None,
         }
     }
 }
@@ -345,6 +420,7 @@ impl ShellHandler for CloudFpga {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use dnn::fixed::QFormat;

@@ -166,6 +166,7 @@ impl GlitchWatchdog {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

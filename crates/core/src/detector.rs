@@ -60,7 +60,7 @@ pub enum DetectorState {
 /// assert!(det.is_triggered());
 /// # Ok::<(), deepstrike::DeepStrikeError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StartDetector {
     config: DetectorConfig,
     state: DetectorState,
@@ -161,6 +161,7 @@ impl StartDetector {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -112,6 +112,7 @@ impl From<UartError> for DeepStrikeError {
 pub type Result<T> = std::result::Result<T, DeepStrikeError>;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

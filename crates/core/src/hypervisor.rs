@@ -118,6 +118,7 @@ pub fn deploy_with_policy(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::tdc::TdcConfig;

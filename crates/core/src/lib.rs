@@ -26,6 +26,10 @@
 //! * [`hypervisor`] — tenant combination, DRC gating and floorplanning on
 //!   the Zynq-7020 budget.
 //!
+//! * [`snapshot`] — the fork-point snapshot engine: shared-prefix forks
+//!   and bitwise post-strike rejoin make candidate evaluation cost a
+//!   suffix run instead of a full replay, bit-identically.
+//!
 //! # Example: one guided strike campaign
 //!
 //! ```no_run
@@ -56,6 +60,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![deny(clippy::unwrap_used)]
+
 pub mod attack;
 pub mod cosim;
 pub mod defense;
@@ -65,6 +71,7 @@ pub mod profile;
 pub mod remote;
 pub mod scheduler;
 pub mod signal_ram;
+pub mod snapshot;
 pub mod striker;
 pub mod tdc;
 

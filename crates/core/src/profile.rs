@@ -189,6 +189,7 @@ impl SignatureLibrary {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -262,6 +262,7 @@ pub struct SimHost {
     images: Vec<(Tensor, usize)>,
     fault_model: FaultModel,
     last_run: Option<InferenceRun>,
+    memo: Option<std::sync::Arc<crate::snapshot::RunMemo>>,
 }
 
 impl SimHost {
@@ -273,7 +274,19 @@ impl SimHost {
         images: Vec<(Tensor, usize)>,
         fault_model: FaultModel,
     ) -> Self {
-        SimHost { fpga, shell, net, images, fault_model, last_run: None }
+        SimHost { fpga, shell, net, images, fault_model, last_run: None, memo: None }
+    }
+
+    /// Shares a [`crate::snapshot::RunMemo`] across hosts: campaign grids
+    /// (e.g. `remote_campaign`'s link-fault sweep) drive bit-identical
+    /// victim platforms at every point, so each distinct inference
+    /// simulates once and every other point replays the recorded bytes.
+    /// Serving is gated on exact behavioural state match, so results are
+    /// unchanged — only the wall-clock is.
+    #[must_use]
+    pub fn with_run_memo(mut self, memo: std::sync::Arc<crate::snapshot::RunMemo>) -> Self {
+        self.memo = Some(memo);
+        self
     }
 
     /// The platform (schedule inspection in tests).
@@ -293,7 +306,10 @@ impl CampaignHost for SimHost {
     }
 
     fn victim_inference(&mut self) {
-        self.last_run = Some(self.fpga.run_inference());
+        self.last_run = Some(match &self.memo {
+            Some(memo) => memo.run_inference(&mut self.fpga),
+            None => self.fpga.run_inference(),
+        });
     }
 
     fn evaluate(&mut self, seed: u64) -> Result<AttackOutcome> {
@@ -730,6 +746,7 @@ impl RemoteCampaign {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::attack::{evaluate_attack, profile_victim};

@@ -29,7 +29,7 @@ use crate::signal_ram::{AttackScheme, SignalRam};
 /// assert!(!sched.clock(Some((1u128 << 90) - 1)));
 /// # Ok::<(), deepstrike::DeepStrikeError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackScheduler {
     detector: StartDetector,
     ram: SignalRam,
@@ -55,6 +55,22 @@ impl AttackScheduler {
     /// The underlying detector.
     pub fn detector(&self) -> &StartDetector {
         &self.detector
+    }
+
+    /// The underlying signal RAM.
+    pub fn ram(&self) -> &SignalRam {
+        &self.ram
+    }
+
+    /// Snapshot-fork support (`crate::snapshot`): mutable RAM access for
+    /// installing a candidate bit vector mid-flight.
+    pub(crate) fn ram_mut(&mut self) -> &mut SignalRam {
+        &mut self.ram
+    }
+
+    /// Whether playback was force-started (blind mode).
+    pub fn is_forced(&self) -> bool {
+        self.forced
     }
 
     /// Loads an attack scheme into the signal RAM (disarms first).
@@ -164,6 +180,7 @@ impl AttackScheduler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::detector::DetectorConfig;

@@ -189,7 +189,7 @@ impl From<AttackScheme> for SchemeProgram {
 /// assert_eq!(played, [false, false, true, false, true, false]);
 /// # Ok::<(), deepstrike::DeepStrikeError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignalRam {
     capacity_bits: usize,
     bits: Vec<bool>,
@@ -233,6 +233,25 @@ impl SignalRam {
     /// Whether playback is active.
     pub fn is_running(&self) -> bool {
         self.running
+    }
+
+    /// Playback position: bits consumed since the last [`start`](Self::start).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Snapshot-fork support (`crate::snapshot`): installs `bits` as if
+    /// they had been loaded *before* playback began, positioned mid-flight.
+    /// The cursor clamps to the vector length and playback self-stops when
+    /// the position is already at (or past) the end — exactly the state a
+    /// naive run reaches after consuming `cursor` bits of this vector.
+    /// Emits no trace events: forked suffix runs only execute when trace
+    /// collection is off.
+    pub(crate) fn fork_install(&mut self, bits: Vec<bool>, cursor: usize, started: bool) {
+        debug_assert!(bits.len() <= self.capacity_bits, "fork caller checks capacity");
+        self.cursor = cursor.min(bits.len());
+        self.running = started && self.cursor < bits.len();
+        self.bits = bits;
     }
 
     /// Compiles and loads a scheme, replacing any previous one and
@@ -306,6 +325,7 @@ impl SignalRam {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -66,7 +66,7 @@ impl CellModel {
 /// assert!(i > 3.0, "24k cells must draw amps: {i}");
 /// # Ok::<(), deepstrike::DeepStrikeError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StrikerBank {
     cells: usize,
     model: CellModel,
@@ -183,6 +183,7 @@ impl StrikerBank {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use fpga_fabric::device::Device;

@@ -63,7 +63,7 @@ pub struct TdcReading {
 /// assert!(drooped.count < nominal.count, "droop slows the edge");
 /// # Ok::<(), deepstrike::DeepStrikeError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TdcSensor {
     config: TdcConfig,
     launch: ClockSpec,
@@ -241,6 +241,7 @@ impl TdcSensor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use fpga_fabric::drc;
@@ -281,8 +282,9 @@ mod tests {
     fn dither_keeps_idle_readout_within_two_counts() {
         let mut tdc = sensor();
         let counts: Vec<u8> = (0..100).map(|_| tdc.sample(1.0).count).collect();
-        let min = *counts.iter().min().unwrap();
-        let max = *counts.iter().max().unwrap();
+        // 100 samples were just collected, so the extrema exist.
+        let min = *counts.iter().min().expect("non-empty sample vector");
+        let max = *counts.iter().max().expect("non-empty sample vector");
         assert!(max - min <= 3, "dither spread too wide: {min}..{max}");
         assert!(max > min, "dither must actually dither");
     }

@@ -214,3 +214,123 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Snapshot engine (DESIGN.md §11): forking the reference timeline and
+// running only the suffix must equal naive full replay bit-for-bit, for
+// arbitrary strike timing/intensity — and a panicking suffix must never
+// corrupt the shared snapshot.
+
+use deepstrike::cosim::{CloudFpga, CosimConfig};
+use deepstrike::signal_ram::AttackScheme;
+use deepstrike::snapshot::SnapshotEngine;
+use dnn::fixed::QFormat;
+use dnn::layers::{Dense, Tanh};
+use dnn::network::Sequential;
+use dnn::quant::QuantizedNetwork;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// One settled tiny-dense platform plus its captured fork ladder, shared
+/// across all generated cases (capture is the expensive part; the engine
+/// is `&self` and internally synchronised).
+fn snapshot_rig() -> &'static (CloudFpga, SnapshotEngine) {
+    static RIG: OnceLock<(CloudFpga, SnapshotEngine)> = OnceLock::new();
+    RIG.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(2021);
+        let mut net = Sequential::new("props_dense");
+        net.push(Box::new(Dense::new("fc1", 36, 16, &mut rng)));
+        net.push(Box::new(Tanh::new("fc1_tanh")));
+        net.push(Box::new(Dense::new("fc2", 16, 10, &mut rng)));
+        let q = QuantizedNetwork::from_sequential(&net, &[1, 6, 6], QFormat::paper())
+            .expect("victim quantises");
+        let accel =
+            AccelConfig { weight_bandwidth: 16, stall_cycles: 150, ..AccelConfig::default() };
+        let mut fpga = CloudFpga::new(
+            &q,
+            &accel,
+            16_000,
+            CosimConfig { pdn_substeps: 4, ..CosimConfig::default() },
+        )
+        .expect("platform assembles");
+        fpga.settle(30);
+        let engine = SnapshotEngine::capture(&fpga).expect("fork ladder captures");
+        (fpga, engine)
+    })
+}
+
+fn naive_guided(
+    base: &CloudFpga,
+    scheme: &AttackScheme,
+) -> Option<deepstrike::cosim::InferenceRun> {
+    let mut fpga = base.clone();
+    fpga.scheduler_mut().load_scheme(scheme).ok()?;
+    fpga.scheduler_mut().arm(true).ok()?;
+    Some(fpga.run_inference())
+}
+
+proptest! {
+    /// Any scheme the naive path accepts must produce a bit-identical run
+    /// through the engine; any scheme the naive path rejects must be
+    /// rejected by the engine too.
+    #[test]
+    fn snapshot_fork_then_suffix_equals_full_replay(
+        delay in 0u32..600,
+        strikes in 0u32..40,
+        strike_cycles in 0u32..4,
+        gap in 0u32..8,
+    ) {
+        let (base, engine) = snapshot_rig();
+        let scheme = AttackScheme {
+            delay_cycles: delay,
+            strikes,
+            strike_cycles,
+            gap_cycles: gap,
+        };
+        match (naive_guided(base, &scheme), engine.run_guided(&scheme)) {
+            (Some(naive), Ok(forked)) => {
+                prop_assert_eq!(naive, forked, "scheme {:?} diverged", scheme);
+            }
+            (None, Err(_)) => {} // both paths reject, same semantics
+            (naive, forked) => prop_assert!(
+                false,
+                "accept/reject mismatch for {:?}: naive {:?}, engine {:?}",
+                scheme,
+                naive.is_some(),
+                forked.is_ok()
+            ),
+        }
+    }
+}
+
+proptest! {
+    /// A suffix run that panics at an arbitrary point must leave the
+    /// shared snapshot intact: the same scheme still evaluates, still
+    /// bit-identical to naive replay.
+    #[test]
+    fn suffix_panic_leaves_snapshot_reusable(
+        delay in 0u32..300,
+        strikes in 1u32..30,
+        panic_after in 1u64..200,
+    ) {
+        let (base, engine) = snapshot_rig();
+        let scheme = AttackScheme {
+            delay_cycles: delay,
+            strikes,
+            strike_cycles: 1,
+            gap_cycles: 2,
+        };
+        let trigger = engine.trigger_cycle().expect("reference pass triggers");
+        let before = engine.run_guided(&scheme).expect("scheme runs");
+        // The injected fault fires only if the suffix reaches that cycle
+        // before rejoining; either way the snapshot must stay usable.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = engine.run_guided_with_fault(&scheme, trigger + panic_after);
+        }));
+        let after = engine.run_guided(&scheme).expect("engine survives the panic");
+        prop_assert_eq!(&before, &after, "panicking suffix corrupted the snapshot");
+        let naive = naive_guided(base, &scheme).expect("naive accepts");
+        prop_assert_eq!(naive, after);
+    }
+}

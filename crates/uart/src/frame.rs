@@ -149,6 +149,7 @@ impl FrameDecoder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -30,6 +30,8 @@
 //! assert_eq!(frames, vec![b"hello".to_vec()]);
 //! ```
 
+#![deny(clippy::unwrap_used)]
+
 pub mod frame;
 pub mod link;
 pub mod proto;

@@ -165,6 +165,7 @@ impl Client {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::link::Endpoint;

@@ -286,8 +286,12 @@ pub struct TransportShell {
     endpoint: Endpoint,
     decoder: FrameDecoder,
     staging: Option<Staging>,
-    /// `(seq, encoded response frame)` of the most recent execution.
-    last: Option<(u16, Vec<u8>)>,
+    /// `(seq, request CRC, encoded response frame)` of the most recent
+    /// execution. The request CRC disambiguates a retransmitted duplicate
+    /// from a *different* request that lands on the same 16-bit sequence
+    /// number after counter wraparound — replaying a cached response to
+    /// the latter would silently answer the wrong command.
+    last: Option<(u16, u16, Vec<u8>)>,
     replayed: u64,
 }
 
@@ -329,8 +333,9 @@ impl TransportShell {
             if kind != KIND_REQUEST {
                 continue;
             }
-            if let Some((last_seq, cached)) = &self.last {
-                if *last_seq == seq {
+            let req_crc = crc16(inner);
+            if let Some((last_seq, last_crc, cached)) = &self.last {
+                if *last_seq == seq && *last_crc == req_crc {
                     // The response was lost in transit: replay it without
                     // re-executing the (side-effectful) command.
                     let cached = cached.clone();
@@ -342,7 +347,7 @@ impl TransportShell {
             let response = self.dispatch(inner, handler);
             let wire = encode_frame(&wrap(seq, KIND_RESPONSE, &response.to_bytes()));
             self.endpoint.send(&wire);
-            self.last = Some((seq, wire));
+            self.last = Some((seq, req_crc, wire));
             handled += 1;
         }
         handled
@@ -412,6 +417,7 @@ impl TransportShell {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::link::FaultConfig;

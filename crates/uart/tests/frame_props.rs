@@ -113,3 +113,94 @@ proptest! {
             "at most the victim and one neighbour may vanish silently");
     }
 }
+
+/// Deterministic regression for the transport shell's replay cache, which
+/// used to key on the 16-bit sequence number alone: once the counter
+/// wrapped, a *different* request landing on the cached seq was answered
+/// with the previous command's stale response instead of being executed.
+/// The cache now keys on `(seq, request CRC)`.
+mod replay_cache_wraparound {
+    use uart::frame::{encode_frame, FrameDecoder};
+    use uart::link::Endpoint;
+    use uart::proto::{Command, Response, StatusInfo};
+    use uart::session::ShellHandler;
+    use uart::transport::TransportShell;
+
+    #[derive(Default)]
+    struct CountingFpga {
+        status_calls: u32,
+        arm_calls: u32,
+    }
+
+    impl ShellHandler for CountingFpga {
+        fn read_trace(&mut self, _max_samples: usize) -> Vec<u8> {
+            Vec::new()
+        }
+        fn load_scheme(&mut self, _data: &[u8]) -> Result<(), u8> {
+            Ok(())
+        }
+        fn arm(&mut self, _enabled: bool) -> Result<(), u8> {
+            self.arm_calls += 1;
+            Ok(())
+        }
+        fn status(&mut self) -> StatusInfo {
+            self.status_calls += 1;
+            StatusInfo { armed: false, triggered: false, strikes_fired: 0, scheme_bits: 0 }
+        }
+    }
+
+    /// Raw transport request packet: `[seq_lo, seq_hi, kind = 0, inner…]`.
+    fn request(seq: u16, command: &Command) -> Vec<u8> {
+        let mut packet = seq.to_le_bytes().to_vec();
+        packet.push(0x00);
+        packet.extend(command.to_bytes());
+        encode_frame(&packet)
+    }
+
+    fn exchange(
+        driver: &mut Endpoint,
+        shell: &mut TransportShell,
+        fpga: &mut CountingFpga,
+        decoder: &mut FrameDecoder,
+        wire: &[u8],
+    ) -> Vec<Response> {
+        driver.send(wire);
+        driver.advance(1);
+        shell.poll(fpga);
+        driver.advance(1);
+        decoder
+            .push_bytes(&driver.recv_all())
+            .iter()
+            .map(|frame| Response::from_bytes(&frame[3..]).expect("well-formed response"))
+            .collect()
+    }
+
+    #[test]
+    fn wrapped_seq_with_different_request_executes_instead_of_replaying() {
+        let (mut driver, shell_end) = Endpoint::pair();
+        let mut shell = TransportShell::new(shell_end);
+        let mut fpga = CountingFpga::default();
+        let mut decoder = FrameDecoder::new();
+
+        // Exchange at seq 7.
+        let status_req = request(7, &Command::Status);
+        let got = exchange(&mut driver, &mut shell, &mut fpga, &mut decoder, &status_req);
+        assert!(matches!(got.as_slice(), [Response::Status(_)]));
+        assert_eq!(fpga.status_calls, 1);
+
+        // A retransmitted duplicate is replayed, not re-executed.
+        let got = exchange(&mut driver, &mut shell, &mut fpga, &mut decoder, &status_req);
+        assert!(matches!(got.as_slice(), [Response::Status(_)]));
+        assert_eq!(fpga.status_calls, 1, "duplicate must not re-execute");
+        assert_eq!(shell.replayed(), 1);
+
+        // 65,536 exchanges later the counter lands on 7 again, but the
+        // request differs: it must execute and must not be answered with
+        // the cached Status response.
+        let arm_req = request(7, &Command::Arm { enabled: true });
+        let got = exchange(&mut driver, &mut shell, &mut fpga, &mut decoder, &arm_req);
+        assert!(matches!(got.as_slice(), [Response::Ack]), "stale replay answered: {got:?}");
+        assert_eq!(fpga.arm_calls, 1, "new command on a wrapped seq must execute");
+        assert_eq!(shell.replayed(), 1, "wrapped seq must miss the replay cache");
+    }
+}

@@ -1,0 +1,97 @@
+//! Snapshot-vs-replay oracle (DESIGN.md §11).
+//!
+//! Every guided candidate evaluated through the fork-point snapshot
+//! engine must be **bit-identical** to loading the same scheme on a clone
+//! of the base platform and replaying the whole inference — recording,
+//! outcome, everything — and must stay so when the forked suffix runs fan
+//! out on the worker pool.
+//!
+//! `DEEPSTRIKE_THREADS` is process-global, so both thread counts live in
+//! this single test (see `tests/remote_chaos.rs` for the same pattern).
+
+use accel::fault::FaultModel;
+use bench::golden::{accel_config, cosim_config, golden_images, tiny_dense_victim, GOLDEN_SEED};
+use deepstrike::attack::{
+    clean_predictions, evaluate_attack, evaluate_attack_cached, plan_attack, profile_from_traces,
+};
+use deepstrike::cosim::{CloudFpga, InferenceRun};
+use deepstrike::signal_ram::AttackScheme;
+use deepstrike::snapshot::SnapshotEngine;
+
+fn platform() -> CloudFpga {
+    let mut fpga = CloudFpga::new(&tiny_dense_victim(), &accel_config(), 16_000, cosim_config())
+        .expect("platform assembles");
+    fpga.settle(30);
+    fpga
+}
+
+#[test]
+fn snapshot_forked_runs_equal_naive_replay_at_one_and_eight_threads() {
+    let q = tiny_dense_victim();
+    let images = golden_images(6);
+    let samples: Vec<_> = images.iter().map(|(t, y)| (t, *y)).collect();
+
+    let mut per_thread: Vec<Vec<InferenceRun>> = Vec::new();
+    for threads in ["1", "8"] {
+        std::env::set_var(par::THREADS_ENV, threads);
+        let base = platform();
+        let engine = SnapshotEngine::capture(&base).expect("capture");
+        assert!(engine.trigger_cycle().is_some(), "reference pass must trigger");
+
+        // Planner-produced candidates across strike budgets, plus raw
+        // schemes covering the edges (immediate, late, strike-free).
+        let profile = profile_from_traces(&[engine.reference().tdc_trace.clone()], &["fc1", "fc2"])
+            .expect("profile");
+        let mut schemes: Vec<AttackScheme> =
+            (1..=8).map(|s| plan_attack(&profile, "fc1", s).expect("plan")).collect();
+        schemes.extend([
+            AttackScheme { delay_cycles: 0, strikes: 3, strike_cycles: 2, gap_cycles: 0 },
+            AttackScheme { delay_cycles: 200, strikes: 1, strike_cycles: 1, gap_cycles: 0 },
+            AttackScheme { delay_cycles: 50, strikes: 0, strike_cycles: 0, gap_cycles: 0 },
+        ]);
+
+        // Forked suffix runs fan out on the worker pool; the naive full
+        // replays below are the oracle.
+        let forked =
+            par::map_items(&schemes, |scheme| engine.run_guided(scheme).expect("guided run"));
+        let clean = clean_predictions(&q, samples.iter().copied());
+        for (scheme, forked_run) in schemes.iter().zip(&forked) {
+            let mut naive = base.clone();
+            naive.scheduler_mut().load_scheme(scheme).expect("scheme fits");
+            naive.scheduler_mut().arm(true).expect("scheme loaded");
+            let naive_run = naive.run_inference();
+            assert_eq!(&naive_run, forked_run, "scheme {scheme:?} diverged at {threads} threads");
+
+            let naive_outcome = evaluate_attack(
+                &q,
+                base.schedule(),
+                &naive_run,
+                samples.iter().copied(),
+                FaultModel::paper(),
+                GOLDEN_SEED,
+            );
+            let forked_outcome = evaluate_attack_cached(
+                &q,
+                base.schedule(),
+                forked_run,
+                samples.iter().copied(),
+                FaultModel::paper(),
+                GOLDEN_SEED,
+                &clean,
+            );
+            assert_eq!(
+                naive_outcome, forked_outcome,
+                "outcome diverged for {scheme:?} at {threads} threads"
+            );
+        }
+        let stats = engine.stats();
+        assert!(stats.forked_runs >= 1, "at least one candidate must fork: {stats:?}");
+        per_thread.push(forked);
+    }
+    std::env::remove_var(par::THREADS_ENV);
+
+    let (first, rest) = per_thread.split_first().expect("two thread counts ran");
+    for other in rest {
+        assert_eq!(first, other, "forked runs must not depend on DEEPSTRIKE_THREADS");
+    }
+}
